@@ -1,0 +1,61 @@
+// Ablation bench: which TDTCP design decisions carry the win?
+//
+//   full            — TDTCP as designed
+//   -relaxed        — §3.4 relaxed reordering detection off (classic
+//                     fast-retransmit marks cross-TDN holes lost)
+//   -per_tdn_rtt    — §4.4 RTT sample matching off (type-3 samples pollute)
+//   -synth_rto      — §4.4 synthesized timeout off (per-TDN RTO only)
+//   -notifications  — single-state CUBIC (no per-TDN modeling at all)
+#include "bench_util.hpp"
+
+using namespace tdtcp;
+using namespace tdtcp::bench;
+
+int main(int argc, char** argv) {
+  const int ms = DurationMsFromArgs(argc, argv, 80);
+
+  struct Row {
+    const char* name;
+    bool relaxed;
+    bool per_tdn_rtt;
+    bool synth_rto;
+    bool tdtcp;
+    bool pacing;
+  };
+  const Row rows[] = {
+      {"full", true, true, true, true, false},
+      {"-relaxed", false, true, true, true, false},
+      {"-per_tdn_rtt", true, false, true, true, false},
+      {"-synth_rto", true, true, false, true, false},
+      {"-notifications", true, true, true, false, false},  // = plain cubic
+      {"+pacing", true, true, true, true, true},  // §5.2's burst mitigation
+  };
+
+  std::printf("TDTCP ablations (%d ms, 8 flows, paper RDCN config)\n\n", ms);
+  std::printf("%-16s %10s %8s %8s %8s %8s\n", "config", "goodput", "rtx",
+              "rto", "undo", "spur");
+
+  double full_bps = 0;
+  for (const auto& row : rows) {
+    ExperimentConfig cfg = PaperConfig(row.tdtcp ? Variant::kTdtcp
+                                                 : Variant::kCubic);
+    cfg.duration = SimTime::Millis(ms);
+    cfg.warmup = SimTime::Millis(ms / 8);
+    cfg.workload.num_flows = 8;
+    cfg.workload.base.relaxed_reordering = row.relaxed;
+    cfg.workload.base.per_tdn_rtt = row.per_tdn_rtt;
+    cfg.workload.base.synthesized_rto = row.synth_rto;
+    cfg.workload.base.pacing_enabled = row.pacing;
+    std::fprintf(stderr, "  running %s...\n", row.name);
+    ExperimentResult r = RunExperiment(cfg);
+    if (full_bps == 0) full_bps = r.goodput_bps;
+    std::printf("%-16s %7.2f Gb %8llu %8llu %8llu %8llu   (%+.1f%% vs full)\n",
+                row.name, r.goodput_bps / 1e9,
+                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.undo_events),
+                static_cast<unsigned long long>(r.duplicate_segments),
+                100.0 * (r.goodput_bps / full_bps - 1.0));
+  }
+  return 0;
+}

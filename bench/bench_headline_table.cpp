@@ -1,0 +1,55 @@
+// The headline comparison (§1, §5.2): long-lived flow goodput for every
+// variant under the paper's RDCN configuration, with ratios against TDTCP.
+//
+// Paper claims: TDTCP ~24% above single-path CUBIC and DCTCP, ~41% above
+// MPTCP, competitive with reTCP(dyn) — without requiring switch buffer
+// resizing.
+#include "bench_util.hpp"
+
+using namespace tdtcp;
+using namespace tdtcp::bench;
+
+int main(int argc, char** argv) {
+  const int ms = DurationMsFromArgs(argc, argv, 120);
+  ExperimentConfig base = PaperConfig(Variant::kCubic);
+  base.duration = SimTime::Millis(ms);
+  base.warmup = SimTime::Millis(ms / 8);
+  base.workload.num_flows = 8;
+
+  std::printf("Headline table: long-lived flow goodput, %d ms simulated, "
+              "%u flows\n", ms, base.workload.num_flows);
+
+  const std::vector<Variant> variants = {
+      Variant::kTdtcp, Variant::kRetcpDyn, Variant::kRetcp, Variant::kDctcp,
+      Variant::kCubic, Variant::kReno,     Variant::kMptcp,
+  };
+  auto runs = RunVariants(variants, base);
+
+  double tdtcp_bps = 0;
+  for (const auto& r : runs) {
+    if (r.variant == Variant::kTdtcp) tdtcp_bps = r.result.goodput_bps;
+  }
+
+  const double optimal = AnalyticOptimalBps(base);
+  const double pkt_only = static_cast<double>(base.topology.packet_mode.rate_bps);
+
+  std::printf("\n%-10s %10s %8s %10s %9s %8s %8s\n", "variant", "goodput",
+              "of-opt", "tdtcp-adv", "rtx", "rto", "spur");
+  for (const auto& r : runs) {
+    std::printf("%-10s %7.2f Gb %7.1f%% %+9.1f%% %8llu %8llu %8llu\n",
+                VariantName(r.variant), r.result.goodput_bps / 1e9,
+                100.0 * r.result.goodput_bps / optimal,
+                100.0 * (tdtcp_bps / r.result.goodput_bps - 1.0),
+                static_cast<unsigned long long>(r.result.retransmissions),
+                static_cast<unsigned long long>(r.result.timeouts),
+                static_cast<unsigned long long>(r.result.duplicate_segments));
+  }
+  std::printf("%-10s %7.2f Gb %7.1f%% %+9.1f%%\n", "pkt-only", pkt_only / 1e9,
+              100.0 * pkt_only / optimal,
+              100.0 * (tdtcp_bps / pkt_only - 1.0));
+  std::printf("%-10s %7.2f Gb %7.1f%%\n", "optimal", optimal / 1e9, 100.0);
+
+  std::printf("\npaper reference: tdtcp +24%% vs cubic/dctcp, +41%% vs mptcp, "
+              "~= retcpdyn\n");
+  return 0;
+}

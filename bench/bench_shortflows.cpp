@@ -1,0 +1,124 @@
+// Short flows (§5.1's scoping claim): "RPC workloads that last a few RTTs
+// likely only exist during one TDN... In such cases, a larger initial cwnd
+// would be more helpful than TDTCP."
+//
+// We measure flow completion times for short transfers started at staggered
+// offsets within the week, for: CUBIC (iw10), TDTCP (iw10), and CUBIC with
+// a large initial window (iw40) — checking that TDTCP neither helps nor
+// hurts short flows while a bigger initial window does help.
+#include "bench_util.hpp"
+
+#include "rdcn/controller.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_connection.hpp"
+
+using namespace tdtcp;
+using namespace tdtcp::bench;
+
+namespace {
+
+struct FctStats {
+  std::vector<double> fct_us;
+};
+
+FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
+                           std::uint64_t flow_bytes, int flows_total) {
+  ExperimentConfig cfg = PaperConfig(v);
+  Simulator sim;
+  Random rng(cfg.seed);
+  Topology topo(sim, rng, cfg.topology);
+  RdcnController::Config rc;
+  rc.schedule = cfg.schedule;
+  rc.packet_mode = cfg.topology.packet_mode;
+  rc.circuit_mode = cfg.topology.circuit_mode;
+  RdcnController controller(sim, rc, {topo.port(0, 1), topo.port(1, 0)},
+                            {topo.tor(0), topo.tor(1)});
+  controller.Start();
+
+  // Two long-lived background flows keep the fabric realistically busy.
+  TcpConfig bg = MakeVariantConfig(v, cfg.workload.base);
+  bg.initial_cwnd = initial_cwnd;
+  std::vector<std::unique_ptr<TcpConnection>> conns;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    conns.push_back(std::make_unique<TcpConnection>(
+        sim, topo.host(1, i), 100 + i, topo.host_id(0, i), bg));
+    conns.back()->Listen();
+    conns.push_back(std::make_unique<TcpConnection>(
+        sim, topo.host(0, i), 100 + i, topo.host_id(1, i), bg));
+    conns.back()->Connect();
+    conns.back()->SetUnlimitedData(true);
+  }
+
+  FctStats stats;
+  // Short flows start staggered across week offsets (host slots 2..).
+  const SimTime week = Schedule(cfg.schedule).week_length();
+  int started = 0;
+  std::uint32_t slot = 2;
+  for (int i = 0; i < flows_total; ++i) {
+    const SimTime start = SimTime::Millis(2) + week * (i / 7) +
+                          (week * (i % 7)) / 7;
+    const std::uint32_t host_idx = slot;
+    slot = 2 + (slot - 1) % (topo.config().hosts_per_rack - 2);
+    const FlowId id = static_cast<FlowId>(1000 + i);
+    sim.ScheduleAt(start, [&, id, host_idx, start] {
+      TcpConfig sc = bg;
+      auto rx = std::make_unique<TcpConnection>(
+          sim, topo.host(1, host_idx), id, topo.host_id(0, host_idx), sc);
+      rx->Listen();
+      auto tx = std::make_unique<TcpConnection>(
+          sim, topo.host(0, host_idx), id, topo.host_id(1, host_idx), sc);
+      TcpConnection* tx_raw = tx.get();
+      tx->Connect();
+      tx->AddAppData(flow_bytes);
+      ++started;
+      // Poll completion cheaply.
+      auto poller = std::make_shared<std::function<void()>>();
+      *poller = [&stats, &sim, tx_raw, start, flow_bytes, poller] {
+        if (tx_raw->bytes_acked() >= flow_bytes) {
+          stats.fct_us.push_back((sim.now() - start).micros_f());
+          return;
+        }
+        sim.Schedule(SimTime::Micros(20), *poller);
+      };
+      sim.Schedule(SimTime::Micros(20), *poller);
+      conns.push_back(std::move(rx));
+      conns.push_back(std::move(tx));
+    });
+  }
+
+  sim.RunUntil(SimTime::Millis(60));
+  return stats;
+}
+
+void Report(const char* name, const FctStats& s, int flows_total) {
+  std::printf("%-14s %6zu/%d done   p50 %8.0f us   p90 %8.0f us   p99 %8.0f us\n",
+              name, s.fct_us.size(), flows_total, Percentile(s.fct_us, 50),
+              Percentile(s.fct_us, 90), Percentile(s.fct_us, 99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int flows = DurationMsFromArgs(argc, argv, 70);  // reuse arg as count
+  const std::uint64_t kFlowBytes = 20 * 8940;  // ~180 KB: a few RTTs
+
+  std::printf("Short-flow completion times (%llu KB transfers, %d flows "
+              "staggered across week offsets,\nwith long-lived background "
+              "traffic):\n\n",
+              static_cast<unsigned long long>(kFlowBytes / 1000), flows);
+
+  auto cubic = MeasureShortFlows(Variant::kCubic, 10, kFlowBytes, flows);
+  Report("cubic iw10", cubic, flows);
+  auto tdtcp = MeasureShortFlows(Variant::kTdtcp, 10, kFlowBytes, flows);
+  Report("tdtcp iw10", tdtcp, flows);
+  auto cubic40 = MeasureShortFlows(Variant::kCubic, 40, kFlowBytes, flows);
+  Report("cubic iw40", cubic40, flows);
+  auto tdtcp40 = MeasureShortFlows(Variant::kTdtcp, 40, kFlowBytes, flows);
+  Report("tdtcp iw40", tdtcp40, flows);
+
+  std::printf("\nexpectation (§5.1): TDTCP is roughly FCT-neutral for short "
+              "flows; a larger initial\ncwnd helps them more than per-TDN "
+              "state does.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Shared bench harness: runs paper-configured experiments for a set of
+// variants, prints the same rows/series the paper plots, and writes CSVs
+// next to the binary.
+//
+// Every bench accepts an optional duration override:
+//     ./bench_fig07_bw_latency [duration_ms]
+// Longer runs average more optical weeks (the paper averages thousands);
+// defaults keep each bench in the seconds range.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/experiment.hpp"
+#include "trace/samplers.hpp"
+
+namespace tdtcp::bench {
+
+inline int DurationMsFromArgs(int argc, char** argv, int def_ms) {
+  if (argc > 1) {
+    const int ms = std::atoi(argv[1]);
+    if (ms > 0) return ms;
+  }
+  return def_ms;
+}
+
+struct VariantRun {
+  Variant variant;
+  ExperimentResult result;
+};
+
+// Runs each variant under `base` (variant-specific knobs from PaperConfig
+// are re-applied on top).
+inline std::vector<VariantRun> RunVariants(const std::vector<Variant>& variants,
+                                           const ExperimentConfig& base,
+                                           int plot_weeks = 3) {
+  std::vector<VariantRun> out;
+  for (Variant v : variants) {
+    ExperimentConfig cfg = base;
+    cfg.workload.variant = v;
+    cfg.workload.base.tdtcp_enabled = false;
+    cfg.workload.base.num_tdns = 1;
+    cfg.topology.voq.ecn_threshold_packets =
+        PaperConfig(v).topology.voq.ecn_threshold_packets;
+    cfg.dynamic_voq = (v == Variant::kRetcpDyn);
+    std::fprintf(stderr, "  running %s...\n", VariantName(v));
+    out.push_back(VariantRun{v, RunExperiment(cfg, plot_weeks)});
+  }
+  return out;
+}
+
+// Prints a paper-style sequence-number table: one row per `row_step_us`,
+// one column per curve, values in bytes since the window start.
+inline void PrintSeqTable(const std::vector<NamedSeries>& series,
+                          double row_step_us, const char* unit = "bytes") {
+  std::printf("\n%-10s", "time_us");
+  for (const auto& s : series) std::printf(" %14s", s.name.c_str());
+  std::printf("   (%s)\n", unit);
+  if (series.empty() || series.front().points.empty()) return;
+  double next_row = 0;
+  for (std::size_t i = 0; i < series.front().points.size(); ++i) {
+    const double t = series.front().points[i].offset_us;
+    if (t + 1e-9 < next_row) continue;
+    next_row = t + row_step_us;
+    std::printf("%-10.0f", t);
+    for (const auto& s : series) {
+      if (i < s.points.size()) {
+        std::printf(" %14.0f", s.points[i].mean);
+      } else {
+        std::printf(" %14s", "");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+// Interpolated lookup of a folded curve at `offset_us`.
+inline double CurveAt(const std::vector<FoldedPoint>& curve, double offset_us) {
+  if (curve.empty()) return 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].offset_us >= offset_us) return curve[i].mean;
+  }
+  return curve.back().mean;
+}
+
+inline void PrintGoodputSummary(const std::vector<VariantRun>& runs,
+                                double optimal_bps, double packet_only_bps) {
+  std::printf("\n%-10s %10s %8s %8s\n", "variant", "goodput", "of-opt",
+              "vs-pkt");
+  std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", "optimal", optimal_bps / 1e9,
+              100.0, optimal_bps / packet_only_bps);
+  for (const auto& r : runs) {
+    std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", VariantName(r.variant),
+                r.result.goodput_bps / 1e9,
+                100.0 * r.result.goodput_bps / optimal_bps,
+                r.result.goodput_bps / packet_only_bps);
+  }
+  std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", "pkt-only",
+              packet_only_bps / 1e9, 100.0 * packet_only_bps / optimal_bps,
+              1.0);
+}
+
+// Assembles the standard figure bundle: per-variant seq curves plus the
+// analytic optimal/packet-only lines from the first run.
+inline std::vector<NamedSeries> SeqSeries(const std::vector<VariantRun>& runs) {
+  std::vector<NamedSeries> series;
+  if (!runs.empty()) {
+    series.push_back(NamedSeries{"optimal", runs.front().result.optimal_curve});
+  }
+  for (const auto& r : runs) {
+    series.push_back(NamedSeries{VariantName(r.variant), r.result.seq_curve});
+  }
+  if (!runs.empty()) {
+    series.push_back(
+        NamedSeries{"packet_only", runs.front().result.packet_only_curve});
+  }
+  return series;
+}
+
+inline std::vector<NamedSeries> VoqSeries(const std::vector<VariantRun>& runs) {
+  std::vector<NamedSeries> series;
+  for (const auto& r : runs) {
+    series.push_back(NamedSeries{VariantName(r.variant), r.result.voq_curve});
+  }
+  return series;
+}
+
+inline double AnalyticOptimalBps(const ExperimentConfig& cfg) {
+  const Schedule schedule(cfg.schedule);
+  return schedule.OptimalBits(schedule.week_length(),
+                              cfg.topology.packet_mode.rate_bps,
+                              cfg.topology.circuit_mode.rate_bps) /
+         schedule.week_length().seconds();
+}
+
+}  // namespace tdtcp::bench

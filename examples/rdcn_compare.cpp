@@ -1,0 +1,55 @@
+// Compare every transport variant on the paper's RDCN configuration and
+// print a throughput/diagnostics table (the headline §5.2 comparison).
+//
+//   $ ./examples/rdcn_compare [duration_ms] [num_flows]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "app/experiment.hpp"
+
+using namespace tdtcp;
+
+int main(int argc, char** argv) {
+  const int duration_ms = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int num_flows = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const std::vector<Variant> variants = {
+      Variant::kTdtcp,   Variant::kRetcpDyn, Variant::kRetcp, Variant::kDctcp,
+      Variant::kCubic,   Variant::kMptcp,    Variant::kReno,
+  };
+
+  ExperimentConfig base = PaperConfig(Variant::kCubic);
+  const Schedule schedule(base.schedule);
+  const double optimal_bps =
+      schedule.OptimalBits(schedule.week_length(),
+                           base.topology.packet_mode.rate_bps,
+                           base.topology.circuit_mode.rate_bps) /
+      schedule.week_length().seconds();
+
+  std::printf("RDCN variant comparison: %d flows, %d ms simulated\n",
+              num_flows, duration_ms);
+  std::printf("optimal %.2f Gbps, packet-only %.2f Gbps\n\n",
+              optimal_bps / 1e9,
+              base.topology.packet_mode.rate_bps / 1e9);
+  std::printf("%-10s %9s %8s %7s %7s %7s %7s %8s\n", "variant", "goodput",
+              "of-opt", "rtx", "undo", "rto", "exempt", "spurious");
+
+  for (Variant v : variants) {
+    ExperimentConfig cfg = PaperConfig(v);
+    cfg.duration = SimTime::Millis(duration_ms);
+    cfg.warmup = SimTime::Millis(duration_ms / 10);
+    cfg.workload.num_flows = static_cast<std::uint32_t>(num_flows);
+    ExperimentResult r = RunExperiment(cfg);
+
+    std::printf("%-10s %6.2f Gb %7.1f%% %7llu %7llu %7llu %7llu %8llu\n",
+                VariantName(v), r.goodput_bps / 1e9,
+                100.0 * r.goodput_bps / optimal_bps,
+                static_cast<unsigned long long>(r.retransmissions),
+                static_cast<unsigned long long>(r.undo_events),
+                static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.cross_tdn_exemptions),
+                static_cast<unsigned long long>(r.duplicate_segments));
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "app/experiment.hpp"
+
+#include <limits>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+
+ExperimentConfig PaperConfig(Variant v) {
+  ExperimentConfig cfg;
+  cfg.workload.variant = v;
+  cfg.workload.num_flows = 8;
+  cfg.topology.hosts_per_rack = 16;
+
+  // §5.1 jumbo frames; BDPs: packet ~14 segments, optical ~62.
+  cfg.workload.base.mss = 8940;
+  cfg.workload.base.initial_cwnd = 10;
+
+  // DCTCP marks at a shallow threshold (half the VOQ with jumbo frames);
+  // everything else never marks.
+  if (v == Variant::kDctcp) {
+    cfg.topology.voq.ecn_threshold_packets = 12;
+  }
+  if (v == Variant::kRetcpDyn) {
+    cfg.dynamic_voq = true;
+  }
+  return cfg;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config, int plot_weeks) {
+  Simulator sim;
+  Random rng(config.seed);
+
+  Topology topo(sim, rng, config.topology);
+
+  RdcnController::Config rc;
+  rc.schedule = config.schedule;
+  rc.packet_mode = config.topology.packet_mode;
+  rc.circuit_mode = config.topology.circuit_mode;
+  rc.dynamic_voq = config.dynamic_voq;
+  const RackId a = config.workload.src_rack;
+  const RackId b = config.workload.dst_rack;
+  RdcnController controller(sim, rc,
+                            {topo.port(a, b), topo.port(b, a)},
+                            {topo.tor(a), topo.tor(b)});
+
+  Workload workload(sim, topo, config.workload);
+
+  controller.Start();
+  workload.Start();
+
+  SeriesSampler seq(sim, config.sample_interval,
+                    [&workload] { return static_cast<double>(workload.total_bytes_acked()); });
+  seq.Start();
+
+  std::unique_ptr<SeriesSampler> voq;
+  if (config.sample_voq) {
+    FabricPort* fwd = topo.port(a, b);
+    voq = std::make_unique<SeriesSampler>(
+        sim, config.sample_interval,
+        [fwd] { return static_cast<double>(fwd->voq().occupancy()); });
+    voq->Start();
+  }
+
+  std::unique_ptr<SeriesSampler> reorder_ev;
+  std::unique_ptr<SeriesSampler> reorder_mk;
+  std::unique_ptr<SeriesSampler> dup_segs;
+  if (config.sample_reorder) {
+    reorder_ev = std::make_unique<SeriesSampler>(
+        sim, config.sample_interval,
+        [&workload] { return static_cast<double>(workload.total_reorder_events()); });
+    reorder_ev->Start();
+    reorder_mk = std::make_unique<SeriesSampler>(
+        sim, config.sample_interval,
+        [&workload] { return static_cast<double>(workload.total_reorder_marked_lost()); });
+    reorder_mk->Start();
+    dup_segs = std::make_unique<SeriesSampler>(
+        sim, config.sample_interval,
+        [&workload] { return static_cast<double>(workload.total_duplicate_segments()); });
+    dup_segs->Start();
+  }
+
+  // Goodput measurement window: [warmup, duration].
+  std::uint64_t bytes_at_warmup = 0;
+  sim.Schedule(config.warmup, [&] { bytes_at_warmup = workload.total_bytes_acked(); });
+
+  sim.RunUntil(config.duration);
+
+  const Schedule schedule(config.schedule);
+
+  ExperimentResult r;
+  r.variant = config.workload.variant;
+  r.week = schedule.week_length();
+  r.duration = config.duration;
+  r.warmup = config.warmup;
+  r.total_bytes = workload.total_bytes_acked();
+  const double window_s = (config.duration - config.warmup).seconds();
+  if (window_s > 0) {
+    r.goodput_bps =
+        static_cast<double>(r.total_bytes - bytes_at_warmup) * 8.0 / window_s;
+  }
+
+  r.seq_samples = seq.samples();
+  r.seq_curve = FoldWeeks(r.seq_samples, r.week, config.warmup, plot_weeks);
+  if (voq) {
+    r.voq_samples = voq->samples();
+    // VOQ occupancy is a level, not a counter: fold raw values by averaging
+    // levels at each offset. Reuse FoldWeeks on (value - week start) would
+    // distort; instead fold absolute values via a zero-based trick: FoldWeeks
+    // subtracts the week-start value, so add it back by folding value+large
+    // constant is wrong. We fold levels directly below.
+    r.voq_curve.clear();
+    // Direct level folding:
+    const auto& s = r.voq_samples;
+    if (s.size() >= 2) {
+      const SimTime interval = s[1].t - s[0].t;
+      const std::int64_t per_week = r.week / interval;
+      if (per_week > 0) {
+        SimTime aligned = s.front().t + config.warmup;
+        const SimTime rem = aligned % r.week;
+        if (!rem.IsZero()) aligned += r.week - rem;
+        std::size_t start = 0;
+        while (start < s.size() && s[start].t < aligned) ++start;
+        std::vector<double> sums(static_cast<std::size_t>(per_week), 0.0);
+        std::size_t weeks = 0;
+        for (std::size_t w = start;
+             w + static_cast<std::size_t>(per_week) <= s.size();
+             w += static_cast<std::size_t>(per_week)) {
+          for (std::int64_t k = 0; k < per_week; ++k) {
+            sums[static_cast<std::size_t>(k)] += s[w + static_cast<std::size_t>(k)].value;
+          }
+          ++weeks;
+        }
+        if (weeks > 0) {
+          for (int pw = 0; pw < plot_weeks; ++pw) {
+            for (std::int64_t k = 0; k < per_week; ++k) {
+              FoldedPoint p;
+              p.offset_us = (interval * k).micros_f() + r.week.micros_f() * pw;
+              p.mean = sums[static_cast<std::size_t>(k)] / static_cast<double>(weeks);
+              r.voq_curve.push_back(p);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (reorder_ev) {
+    r.reorder_event_samples = reorder_ev->samples();
+    r.reorder_marked_samples = reorder_mk->samples();
+    r.reorder_events_per_day =
+        PerWeekDeltas(r.reorder_event_samples, r.week, config.warmup);
+    r.reorder_marked_per_day =
+        PerWeekDeltas(r.reorder_marked_samples, r.week, config.warmup);
+    r.spurious_rtx_per_day =
+        PerWeekDeltas(dup_segs->samples(), r.week, config.warmup);
+  }
+
+  // Analytic reference lines over the plotted window. The "optimal" flow
+  // uses the full fabric rate of whichever TDN is active (nights idle); the
+  // "packet only" flow holds the packet rate continuously (no blackouts).
+  {
+    const std::uint64_t pkt = config.topology.packet_mode.rate_bps;
+    const std::uint64_t opt = config.topology.circuit_mode.rate_bps;
+    const SimTime step = config.sample_interval;
+    const SimTime window = r.week * plot_weeks;
+    for (SimTime t = SimTime::Zero(); t <= window; t += step) {
+      FoldedPoint po;
+      po.offset_us = t.micros_f();
+      po.mean = schedule.OptimalBits(t, pkt, opt) / 8.0;
+      r.optimal_curve.push_back(po);
+      FoldedPoint pp;
+      pp.offset_us = t.micros_f();
+      pp.mean = schedule.PacketOnlyBits(t, pkt) / 8.0;
+      r.packet_only_curve.push_back(pp);
+    }
+  }
+
+  // Aggregate stats.
+  for (auto& f : workload.flows()) {
+    r.retransmissions += f.retransmissions();
+    r.reorder_events += f.reorder_events();
+    r.reorder_marked_lost += f.reorder_marked_lost();
+    r.duplicate_segments += f.duplicate_segments();
+    if (f.tcp_sender) {
+      r.undo_events += f.tcp_sender->stats().undo_events;
+      r.timeouts += f.tcp_sender->stats().timeouts;
+      r.cross_tdn_exemptions += f.tcp_sender->stats().cross_tdn_exemptions;
+    }
+  }
+  return r;
+}
+
+ExperimentResult RunPaperExperiment(Variant v, SimTime duration) {
+  ExperimentConfig cfg = PaperConfig(v);
+  cfg.duration = duration;
+  return RunExperiment(cfg);
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,87 @@
+// End-to-end experiment harness: wires a two-rack RDCN topology, the
+// schedule controller, and a workload of long-lived flows; runs the
+// simulation; and collects the series/statistics every figure in the paper
+// is built from. Defaults reproduce the Etalon testbed configuration of
+// §5.1 (10 Gbps/~100 µs packet TDN, 100 Gbps/~40 µs optical TDN, 180 µs
+// days, 20 µs nights, 6:1 packet:optical, 16-packet jumbo-frame VOQs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "net/topology.hpp"
+#include "rdcn/controller.hpp"
+#include "trace/samplers.hpp"
+
+namespace tdtcp {
+
+struct ExperimentConfig {
+  TopologyConfig topology;
+  ScheduleConfig schedule;
+  WorkloadConfig workload;
+  bool dynamic_voq = false;  // reTCPdyn switch cooperation
+  SimTime duration = SimTime::Millis(200);
+  SimTime warmup = SimTime::Millis(20);
+  SimTime sample_interval = SimTime::Micros(5);
+  std::uint64_t seed = 1;
+  bool sample_voq = true;
+  bool sample_reorder = true;
+};
+
+// The paper's baseline configuration for a given variant (DCTCP gets a
+// shallow ECN threshold, reTCPdyn enables dynamic VOQ resizing, MPTCP uses
+// two pinned subflows).
+ExperimentConfig PaperConfig(Variant v);
+
+struct ExperimentResult {
+  Variant variant;
+  SimTime week;
+  SimTime duration;
+  SimTime warmup;
+
+  // Aggregate post-warmup goodput (transport-delivered payload bits/s).
+  double goodput_bps = 0;
+
+  // Raw sampled series (aggregate across flows).
+  std::vector<Sample> seq_samples;        // bytes acked
+  std::vector<Sample> voq_samples;        // forward-direction VOQ occupancy
+  std::vector<Sample> reorder_event_samples;
+  std::vector<Sample> reorder_marked_samples;
+
+  // Folded into the paper's expected-progress form.
+  std::vector<FoldedPoint> seq_curve;     // bytes vs offset in plotted window
+  std::vector<FoldedPoint> voq_curve;
+
+  // Analytic reference lines over the same window (aggregate fabric bytes).
+  std::vector<FoldedPoint> optimal_curve;
+  std::vector<FoldedPoint> packet_only_curve;
+
+  // Totals.
+  std::uint64_t total_bytes = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t reorder_events = 0;
+  std::uint64_t reorder_marked_lost = 0;
+  std::uint64_t undo_events = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cross_tdn_exemptions = 0;
+
+  // Per-optical-day deltas (Fig. 10). "Spurious rtx" uses receiver-side
+  // duplicate arrivals: the ground truth for retransmissions of data that
+  // was never lost.
+  std::vector<double> reorder_events_per_day;
+  std::vector<double> reorder_marked_per_day;
+  std::vector<double> spurious_rtx_per_day;
+  std::uint64_t duplicate_segments = 0;
+};
+
+// Runs one deterministic experiment. `plot_weeks` controls how many weeks
+// the folded curves span (the paper's Fig. 2/7 windows show ~3 weeks).
+ExperimentResult RunExperiment(const ExperimentConfig& config, int plot_weeks = 3);
+
+// Convenience: run the §5.1 baseline for a variant.
+ExperimentResult RunPaperExperiment(Variant v, SimTime duration = SimTime::Millis(200));
+
+}  // namespace tdtcp

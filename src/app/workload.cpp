@@ -1,0 +1,174 @@
+#include "app/workload.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "cc/registry.hpp"
+
+namespace tdtcp {
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kReno: return "reno";
+    case Variant::kCubic: return "cubic";
+    case Variant::kDctcp: return "dctcp";
+    case Variant::kRetcp: return "retcp";
+    case Variant::kRetcpDyn: return "retcpdyn";
+    case Variant::kMptcp: return "mptcp";
+    case Variant::kTdtcp: return "tdtcp";
+  }
+  return "?";
+}
+
+Variant VariantFromName(std::string_view name) {
+  if (name == "reno") return Variant::kReno;
+  if (name == "cubic") return Variant::kCubic;
+  if (name == "dctcp") return Variant::kDctcp;
+  if (name == "retcp") return Variant::kRetcp;
+  if (name == "retcpdyn") return Variant::kRetcpDyn;
+  if (name == "mptcp") return Variant::kMptcp;
+  if (name == "tdtcp") return Variant::kTdtcp;
+  throw std::invalid_argument("unknown variant: " + std::string(name));
+}
+
+TcpConfig MakeVariantConfig(Variant v, TcpConfig base) {
+  switch (v) {
+    case Variant::kReno:
+      base.cc_factory = MakeCcFactory("reno");
+      break;
+    case Variant::kCubic:
+      base.cc_factory = MakeCcFactory("cubic");
+      break;
+    case Variant::kDctcp:
+      base.cc_factory = MakeCcFactory("dctcp");
+      base.ecn_enabled = true;
+      break;
+    case Variant::kRetcp:
+      base.cc_factory = MakeCcFactory("retcp");
+      break;
+    case Variant::kRetcpDyn:
+      base.cc_factory = MakeCcFactory("retcpdyn");
+      break;
+    case Variant::kMptcp:
+      // Subflow config; the MptcpConnection fills in pinning/DSS fields.
+      base.cc_factory = MakeCcFactory("cubic");
+      break;
+    case Variant::kTdtcp:
+      base.cc_factory = MakeCcFactory("cubic");  // §3.5: CUBIC in every TDN
+      base.tdtcp_enabled = true;
+      if (base.num_tdns < 2) base.num_tdns = 2;
+      break;
+  }
+  return base;
+}
+
+std::uint64_t Flow::bytes_acked() const {
+  if (tcp_sender) return tcp_sender->bytes_acked();
+  if (mptcp_sender) return mptcp_sender->meta_bytes_acked();
+  return 0;
+}
+
+std::uint64_t Flow::reorder_events() const {
+  if (tcp_sender) return tcp_sender->stats().reorder_events;
+  if (mptcp_sender) return mptcp_sender->reorder_events();
+  return 0;
+}
+
+std::uint64_t Flow::reorder_marked_lost() const {
+  if (tcp_sender) return tcp_sender->stats().reorder_marked_lost;
+  if (mptcp_sender) return mptcp_sender->reorder_marked_lost();
+  return 0;
+}
+
+std::uint64_t Flow::retransmissions() const {
+  if (tcp_sender) return tcp_sender->stats().retransmissions;
+  if (mptcp_sender) {
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      total += const_cast<MptcpConnection*>(mptcp_sender.get())
+                   ->subflow(i)->stats().retransmissions;
+    }
+    return total;
+  }
+  return 0;
+}
+
+std::uint64_t Flow::duplicate_segments() const {
+  if (tcp_receiver) return tcp_receiver->stats().duplicate_segments;
+  if (mptcp_receiver) {
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      total += const_cast<MptcpConnection*>(mptcp_receiver.get())
+                   ->subflow(i)->stats().duplicate_segments;
+    }
+    return total;
+  }
+  return 0;
+}
+
+Workload::Workload(Simulator& sim, Topology& topo, WorkloadConfig config)
+    : config_(std::move(config)) {
+  assert(config_.num_flows <= topo.config().hosts_per_rack);
+  for (std::uint32_t i = 0; i < config_.num_flows; ++i) {
+    const FlowId id = config_.first_flow_id + i;
+    Host* src = topo.host(config_.src_rack, i);
+    Host* dst = topo.host(config_.dst_rack, i);
+    Flow flow;
+    if (config_.variant == Variant::kMptcp) {
+      MptcpConnection::Config mc = config_.mptcp;
+      mc.subflow = MakeVariantConfig(config_.variant, config_.base);
+      flow.mptcp_receiver = std::make_unique<MptcpConnection>(
+          sim, dst, id, src->id(), mc);
+      flow.mptcp_sender = std::make_unique<MptcpConnection>(
+          sim, src, id, dst->id(), mc);
+    } else {
+      const TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+      flow.tcp_receiver = std::make_unique<TcpConnection>(
+          sim, dst, id, src->id(), tc);
+      flow.tcp_sender = std::make_unique<TcpConnection>(
+          sim, src, id, dst->id(), tc);
+    }
+    flows_.push_back(std::move(flow));
+  }
+}
+
+void Workload::Start() {
+  for (auto& f : flows_) {
+    if (f.tcp_sender) {
+      f.tcp_receiver->Listen();
+      f.tcp_sender->Connect();
+      f.tcp_sender->SetUnlimitedData(true);
+    } else {
+      f.mptcp_receiver->Listen();
+      f.mptcp_sender->Connect();
+      f.mptcp_sender->SetUnlimitedData(true);
+    }
+  }
+}
+
+std::uint64_t Workload::total_bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f.bytes_acked();
+  return total;
+}
+
+std::uint64_t Workload::total_reorder_events() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f.reorder_events();
+  return total;
+}
+
+std::uint64_t Workload::total_reorder_marked_lost() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f.reorder_marked_lost();
+  return total;
+}
+
+std::uint64_t Workload::total_duplicate_segments() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f.duplicate_segments();
+  return total;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,83 @@
+// Workload construction: long-lived bulk flows between a rack pair, one per
+// host pair, in any of the paper's transport variants (§5.1: flowgrind-style
+// bulk transfers, all flows starting together).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mptcp/mptcp_connection.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace tdtcp {
+
+enum class Variant {
+  kReno,
+  kCubic,
+  kDctcp,
+  kRetcp,
+  kRetcpDyn,
+  kMptcp,
+  kTdtcp,
+};
+
+const char* VariantName(Variant v);
+Variant VariantFromName(std::string_view name);
+
+// Translates a variant into engine configuration on top of `base`.
+TcpConfig MakeVariantConfig(Variant v, TcpConfig base);
+
+struct WorkloadConfig {
+  Variant variant = Variant::kTdtcp;
+  std::uint32_t num_flows = 8;
+  RackId src_rack = 0;
+  RackId dst_rack = 1;
+  TcpConfig base;  // shared engine parameters (mss, timers, ...)
+  MptcpConnection::Config mptcp;  // used when variant == kMptcp
+  FlowId first_flow_id = 1;
+};
+
+// One sender/receiver pair. Exactly one of (tcp_*, mptcp_*) is populated.
+struct Flow {
+  std::unique_ptr<TcpConnection> tcp_sender;
+  std::unique_ptr<TcpConnection> tcp_receiver;
+  std::unique_ptr<MptcpConnection> mptcp_sender;
+  std::unique_ptr<MptcpConnection> mptcp_receiver;
+
+  // Sender-side bytes the transport has reliably delivered (the quantity
+  // the paper's sequence graphs plot).
+  std::uint64_t bytes_acked() const;
+  std::uint64_t reorder_events() const;
+  std::uint64_t reorder_marked_lost() const;
+  std::uint64_t retransmissions() const;
+  // Receiver-side duplicate arrivals: ground truth for spurious
+  // retransmissions (a retransmission of data that was never lost shows up
+  // as a duplicate; Fig. 10b counts exactly these).
+  std::uint64_t duplicate_segments() const;
+};
+
+class Workload {
+ public:
+  Workload(Simulator& sim, Topology& topo, WorkloadConfig config);
+
+  // Connects every flow and switches senders to unlimited data.
+  void Start();
+
+  std::uint64_t total_bytes_acked() const;
+  std::uint64_t total_reorder_events() const;
+  std::uint64_t total_reorder_marked_lost() const;
+  std::uint64_t total_duplicate_segments() const;
+
+  std::vector<Flow>& flows() { return flows_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace tdtcp

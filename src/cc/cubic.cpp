@@ -1,0 +1,140 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdtcp {
+
+void CubicCc::Init(TdnState& s) {
+  (void)s;
+  ResetEpoch();
+  last_max_cwnd_ = 0;
+  delay_min_s_ = 0;
+}
+
+void CubicCc::ResetEpoch() {
+  epoch_start_ = SimTime::Zero();
+  origin_point_ = 0;
+  k_seconds_ = 0;
+  tcp_cwnd_ = 0;
+  ack_cnt_ = 0;
+}
+
+std::uint32_t CubicCc::SsThresh(TdnState& s) {
+  // Fast convergence: a flow that lost before reaching its previous maximum
+  // releases extra room for newcomers.
+  const double cwnd = s.cwnd;
+  if (cwnd < last_max_cwnd_) {
+    last_max_cwnd_ = cwnd * (1.0 + kBeta) / 2.0;
+  } else {
+    last_max_cwnd_ = cwnd;
+  }
+  ResetEpoch();
+  return std::max(2u, static_cast<std::uint32_t>(cwnd * kBeta));
+}
+
+void CubicCc::OnRetransmitTimeout(TdnState& s) {
+  (void)s;
+  ResetEpoch();
+  last_max_cwnd_ = 0;
+}
+
+void CubicCc::OnAck(TdnState& s, const AckContext& ctx) {
+  (void)s;
+  if (ctx.event.rtt_sample > SimTime::Zero()) {
+    const double rtt_s = ctx.event.rtt_sample.seconds();
+    if (delay_min_s_ == 0 || rtt_s < delay_min_s_) delay_min_s_ = rtt_s;
+  }
+  last_ack_ = ctx.now;
+}
+
+void CubicCc::OnCwndEvent(TdnState& s, CwndEvent ev) {
+  (void)s;
+  if (ev == CwndEvent::kTxStart || ev == CwndEvent::kTdnResume) {
+    // Linux bictcp_cwnd_event(CA_EVENT_TX_START): shift the epoch forward by
+    // the idle time so the cubic curve does not fast-forward through a quiet
+    // (or, for TDTCP, inactive-TDN) period. This is what makes a resumed TDN
+    // continue "as if it has just resumed from a checkpoint" (§3.1).
+    if (!epoch_start_.IsZero() && last_ack_ > SimTime::Zero()) {
+      // Delta is applied lazily at the next Update() via last_ack_.
+      pending_idle_shift_ = true;
+    }
+  }
+}
+
+std::uint32_t CubicCc::Update(TdnState& s, std::uint32_t acked, SimTime now) {
+  ack_cnt_ += acked;
+
+  if (pending_idle_shift_ && !epoch_start_.IsZero()) {
+    const SimTime delta = now - last_ack_;
+    if (delta > SimTime::Zero()) epoch_start_ += delta;
+    pending_idle_shift_ = false;
+  }
+
+  if (epoch_start_.IsZero()) {
+    epoch_start_ = now;
+    ack_cnt_ = acked;
+    tcp_cwnd_ = s.cwnd;
+    if (last_max_cwnd_ <= s.cwnd) {
+      k_seconds_ = 0;
+      origin_point_ = s.cwnd;
+    } else {
+      k_seconds_ = std::cbrt((last_max_cwnd_ - s.cwnd) / kC);
+      origin_point_ = last_max_cwnd_;
+    }
+  }
+
+  const double t = (now - epoch_start_).seconds() + delay_min_s_;
+  const double offs = t - k_seconds_;
+  const double target = origin_point_ + kC * offs * offs * offs;
+
+  double cnt;
+  if (target > s.cwnd) {
+    cnt = s.cwnd / (target - s.cwnd);
+  } else {
+    cnt = 100.0 * s.cwnd;  // effectively hold
+  }
+  // Before the first loss there is no origin point; cap the divisor so the
+  // window still ramps ~5% per RTT (Linux does the same).
+  if (last_max_cwnd_ == 0 && cnt > 20) cnt = 20;
+
+  // TCP friendliness: estimate what Reno would have reached and never grow
+  // slower than that.
+  if (delay_min_s_ > 0) {
+    const double delta = s.cwnd / 0.7;  // 3*(1+beta)/(3-beta)*... simplified
+    while (ack_cnt_ > delta) {
+      ack_cnt_ -= delta;
+      tcp_cwnd_ += 1;
+    }
+    if (tcp_cwnd_ > s.cwnd) {
+      const double friendliness_cnt = s.cwnd / (tcp_cwnd_ - s.cwnd);
+      cnt = std::min(cnt, friendliness_cnt);
+    }
+  }
+
+  return std::max(2u, static_cast<std::uint32_t>(cnt));
+}
+
+void CubicCc::CongAvoid(TdnState& s, std::uint32_t acked, SimTime now) {
+  if (s.cwnd < s.ssthresh) {
+    s.cwnd += acked;
+    return;
+  }
+  if (!s.cwnd_limited) return;
+  const std::uint32_t cnt = Update(s, acked, now);
+  // Linux tcp_cong_avoid_ai: accumulate acked segments and grow by the
+  // full quotient (bulk ACKs may warrant more than +1).
+  // Appropriate byte counting (RFC 3465, L=2): a cumulative ACK counts at
+  // most two segments toward window growth.
+  s.cwnd_cnt += std::min<std::uint32_t>(acked, 2);
+  if (s.cwnd_cnt >= cnt) {
+    s.cwnd += s.cwnd_cnt / cnt;
+    s.cwnd_cnt %= cnt;
+  }
+}
+
+std::unique_ptr<CongestionControl> MakeCubic() {
+  return std::make_unique<CubicCc>();
+}
+
+}  // namespace tdtcp

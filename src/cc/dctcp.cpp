@@ -1,0 +1,58 @@
+#include "cc/dctcp.hpp"
+
+#include <algorithm>
+
+namespace tdtcp {
+
+void DctcpCc::Init(TdnState& s) {
+  (void)s;
+  alpha_ = 1.0;
+  window_end_seq_ = 0;
+  acked_bytes_total_ = 0;
+  acked_bytes_ecn_ = 0;
+}
+
+void DctcpCc::OnAck(TdnState& s, const AckContext& ctx) {
+  (void)s;
+  acked_bytes_total_ += ctx.event.newly_acked_bytes;
+  if (ctx.event.ece) acked_bytes_ecn_ += ctx.event.newly_acked_bytes;
+
+  if (window_end_seq_ == 0) window_end_seq_ = ctx.snd_nxt;
+  if (ctx.snd_una >= window_end_seq_) {
+    // One observation window elapsed: fold the marked fraction into alpha.
+    const double m = acked_bytes_total_ > 0
+                         ? static_cast<double>(acked_bytes_ecn_) /
+                               static_cast<double>(acked_bytes_total_)
+                         : 0.0;
+    alpha_ = alpha_ * (1.0 - params_.g) + params_.g * m;
+    acked_bytes_total_ = 0;
+    acked_bytes_ecn_ = 0;
+    window_end_seq_ = ctx.snd_nxt;
+  }
+}
+
+std::uint32_t DctcpCc::SsThresh(TdnState& s) {
+  const double reduced = s.cwnd * (1.0 - alpha_ / 2.0);
+  return std::max(2u, static_cast<std::uint32_t>(reduced));
+}
+
+void DctcpCc::CongAvoid(TdnState& s, std::uint32_t acked, SimTime now) {
+  (void)now;
+  if (s.cwnd < s.ssthresh) {
+    s.cwnd += acked;
+    return;
+  }
+  if (!s.cwnd_limited) return;
+  // RFC 3465 appropriate byte counting (L=2 per ACK event).
+  s.cwnd_cnt += std::min<std::uint32_t>(acked, 2);
+  if (s.cwnd_cnt >= s.cwnd) {
+    s.cwnd_cnt -= s.cwnd;
+    s.cwnd += 1;
+  }
+}
+
+std::unique_ptr<CongestionControl> MakeDctcp() {
+  return std::make_unique<DctcpCc>();
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,22 @@
+#include "cc/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cc/cubic.hpp"
+#include "cc/dctcp.hpp"
+#include "cc/reno.hpp"
+#include "cc/retcp.hpp"
+
+namespace tdtcp {
+
+CcFactory MakeCcFactory(std::string_view name) {
+  if (name == "reno") return [] { return MakeReno(); };
+  if (name == "cubic") return [] { return MakeCubic(); };
+  if (name == "dctcp") return [] { return MakeDctcp(); };
+  if (name == "retcp") return [] { return MakeRetcp(); };
+  if (name == "retcpdyn") return [] { return MakeRetcpDyn(); };
+  throw std::invalid_argument("unknown congestion control: " + std::string(name));
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,15 @@
+// Name-based congestion-control factory lookup, mirroring Linux's
+// `sysctl net.ipv4.tcp_congestion_control` selection by name.
+#pragma once
+
+#include <string_view>
+
+#include "tdtcp/congestion_control.hpp"
+
+namespace tdtcp {
+
+// Supported: "reno", "cubic", "dctcp", "retcp", "retcpdyn".
+// Throws std::invalid_argument for unknown names.
+CcFactory MakeCcFactory(std::string_view name);
+
+}  // namespace tdtcp

@@ -1,0 +1,32 @@
+#include "cc/reno.hpp"
+
+#include <algorithm>
+
+namespace tdtcp {
+
+std::uint32_t RenoCc::SsThresh(TdnState& s) {
+  return std::max(2u, s.cwnd / 2);
+}
+
+void RenoCc::CongAvoid(TdnState& s, std::uint32_t acked, SimTime now) {
+  (void)now;
+  if (s.cwnd < s.ssthresh) {
+    // Slow start: one segment per ACKed segment.
+    s.cwnd += acked;
+    return;
+  }
+  if (!s.cwnd_limited) return;
+  // Congestion avoidance: one segment per window (tcp_cong_avoid_ai).
+  // RFC 3465 appropriate byte counting (L=2 per ACK event).
+  s.cwnd_cnt += std::min<std::uint32_t>(acked, 2);
+  if (s.cwnd_cnt >= s.cwnd) {
+    s.cwnd_cnt -= s.cwnd;
+    s.cwnd += 1;
+  }
+}
+
+std::unique_ptr<CongestionControl> MakeReno() {
+  return std::make_unique<RenoCc>();
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,50 @@
+#include "cc/retcp.hpp"
+
+#include <algorithm>
+
+namespace tdtcp {
+
+void RetcpCc::RampUp(TdnState& s) {
+  if (ramped_) return;
+  // Never amplify a window that is already recovering from loss; the
+  // multiplicative increase is meant for a healthy packet-network window.
+  if (s.ca_state != CaState::kOpen && s.ca_state != CaState::kDisorder) return;
+  ramped_ = true;
+  pre_ramp_cwnd_ = s.cwnd;
+  pre_ramp_ssthresh_ = s.ssthresh;
+  s.cwnd = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(s.cwnd * params_.ramp_factor));
+  // Operate in congestion avoidance at the ramped window, not slow start.
+  s.ssthresh = std::min(s.ssthresh, s.cwnd);
+}
+
+void RetcpCc::RampDown(TdnState& s) {
+  if (!ramped_) return;
+  ramped_ = false;
+  // Fall back to the pre-circuit window and threshold: the packet network's
+  // fair share, regardless of what happened on the circuit.
+  s.cwnd = std::max<std::uint32_t>(2, std::min(s.cwnd, pre_ramp_cwnd_));
+  s.ssthresh = std::max<std::uint32_t>(2, pre_ramp_ssthresh_);
+}
+
+void RetcpCc::OnCircuitTransition(TdnState& s, bool circuit_up, bool imminent) {
+  if (imminent) {
+    if (params_.react_to_imminent) RampUp(s);
+    return;
+  }
+  if (circuit_up) {
+    RampUp(s);
+  } else {
+    RampDown(s);
+  }
+}
+
+std::unique_ptr<CongestionControl> MakeRetcp() {
+  return std::make_unique<RetcpCc>(RetcpCc::Params{4.0, false});
+}
+
+std::unique_ptr<CongestionControl> MakeRetcpDyn() {
+  return std::make_unique<RetcpCc>(RetcpCc::Params{4.0, true});
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,187 @@
+#include "mptcp/mptcp_connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdtcp {
+
+MptcpConnection::MptcpConnection(Simulator& sim, Host* host, FlowId flow,
+                                 NodeId peer, Config config)
+    : sim_(sim), host_(host), flow_(flow), config_(config),
+      last_progress_(sim.now()) {
+  assert(config_.num_subflows >= 1 && config_.num_subflows <= 8);
+  for (std::uint32_t i = 0; i < config_.num_subflows; ++i) {
+    TcpConfig sc = config_.subflow;
+    sc.mptcp = true;
+    sc.pin_path = static_cast<std::int8_t>(i);
+    sc.subflow_id = static_cast<std::uint8_t>(i);
+    sc.tdtcp_enabled = false;
+    sc.register_endpoint = false;       // the meta owns the flow demux entry
+    sc.listen_tdn_notifications = false;  // tdm_schd is driven by the meta
+    auto sub = std::make_unique<TcpConnection>(sim_, host_, flow_, peer, sc);
+    TcpConnection* raw = sub.get();
+    raw->SetDeliverCallback([this](const TcpConnection::DeliverInfo& info) {
+      OnSubflowDeliver(info);
+    });
+    raw->SetDssAckProvider([this] { return meta_rcv_.rcv_nxt(); });
+    raw->SetRwndProvider([this] {
+      const std::uint64_t used = meta_rcv_.ooo_bytes();
+      return config_.meta_rcv_buf_bytes > used
+                 ? config_.meta_rcv_buf_bytes - used
+                 : 0;
+    });
+    raw->SetDssAckCallback([this](std::uint64_t ack, std::uint64_t wnd) {
+      OnDssAck(ack, wnd);
+    });
+    raw->SetSendReadyCallback([this] { TrySchedule(); });
+    raw->SetEstablishedCallback([this] { TrySchedule(); });
+    subflows_.push_back(std::move(sub));
+  }
+  host_->RegisterEndpoint(flow_, this);
+  host_->AddTdnListener(this, [this](TdnId tdn, bool imminent) {
+    OnTdnChange(tdn, imminent);
+  });
+}
+
+MptcpConnection::~MptcpConnection() {
+  if (reinject_timer_ != kInvalidEventId) sim_.Cancel(reinject_timer_);
+  host_->UnregisterEndpoint(flow_);
+  host_->RemoveTdnListener(this);
+}
+
+void MptcpConnection::Listen() {
+  for (auto& s : subflows_) s->Listen();
+}
+
+void MptcpConnection::Connect() {
+  for (auto& s : subflows_) s->Connect();
+  ArmReinjectTimer();
+}
+
+void MptcpConnection::SetUnlimitedData(bool unlimited) {
+  unlimited_ = unlimited;
+  TrySchedule();
+}
+
+void MptcpConnection::HandlePacket(Packet&& p) {
+  if (p.type == PacketType::kTdnNotify) {
+    OnTdnChange(p.notify_tdn, p.circuit_imminent);
+    return;
+  }
+  const std::uint32_t idx = p.subflow;
+  if (idx >= subflows_.size()) return;
+  subflows_[idx]->HandlePacket(std::move(p));
+}
+
+void MptcpConnection::OnTdnChange(TdnId tdn, bool imminent) {
+  if (imminent) return;
+  // tdm_schd: subflow i is pinned to network i; steer to the active one.
+  const std::uint32_t target = std::min<std::uint32_t>(
+      tdn, static_cast<std::uint32_t>(subflows_.size() - 1));
+  if (target != active_subflow_) {
+    active_subflow_ = target;
+    TrySchedule();
+  }
+}
+
+void MptcpConnection::TrySchedule() {
+  if (!unlimited_) return;
+  TcpConnection* sub = subflows_[active_subflow_].get();
+  if (sub->state() != TcpConnection::State::kEstablished) return;
+
+  const std::uint64_t mss = config_.subflow.mss;
+  const std::uint64_t queue_target =
+      static_cast<std::uint64_t>(config_.subflow_queue_segments) * mss;
+
+  while (sub->unsent_buffered_bytes() < queue_target &&
+         MetaWindowUsed() + mss <= config_.meta_snd_buf_bytes &&
+         MetaWindowUsed() + mss <= peer_meta_wnd_) {
+    sub->AddMappedData(static_cast<std::uint32_t>(mss), dss_next_);
+    dss_next_ += mss;
+    ++mp_stats_.scheduled_segments;
+  }
+}
+
+void MptcpConnection::OnDssAck(std::uint64_t dss_ack, std::uint64_t dss_rwnd) {
+  peer_meta_wnd_ = dss_rwnd;
+  if (peer_meta_wnd_ == 0) ++mp_stats_.zero_window_acks;
+  if (dss_ack <= dss_una_) {
+    TrySchedule();  // the window may have reopened
+    return;
+  }
+  dss_una_ = dss_ack;
+  last_progress_ = sim_.now();
+  TrySchedule();
+}
+
+void MptcpConnection::OnSubflowDeliver(const TcpConnection::DeliverInfo& info) {
+  if (!info.has_dss) return;
+  auto result = meta_rcv_.OnData(info.dss_seq, info.len, false, 0, sim_.now());
+  if (result.duplicate) ++mp_stats_.meta_duplicates;
+}
+
+void MptcpConnection::ArmReinjectTimer() {
+  reinject_timer_ = sim_.Schedule(config_.reinject_delay, [this] {
+    reinject_timer_ = kInvalidEventId;
+    MaybeReinject();
+    ArmReinjectTimer();
+  });
+}
+
+void MptcpConnection::MaybeReinject() {
+  ++mp_stats_.stall_checks;
+  if (!unlimited_) return;
+  // A stall: no meta progress for a full reinjection delay while data-level
+  // sequence space is outstanding (the hole is parked on a subflow whose
+  // path is gone, closing the meta window / filling the meta send buffer).
+  if (sim_.now() - last_progress_ < config_.reinject_delay) return;
+  if (MetaWindowUsed() == 0) return;
+
+  TcpConnection* active = subflows_[active_subflow_].get();
+  if (active->state() != TcpConnection::State::kEstablished) return;
+
+  // Find the lowest unacked (or stranded-unsent) DSS range held by another
+  // subflow and remap it onto the active one (Raiciu et al.'s
+  // connection-level reinjection).
+  std::uint64_t best_dss = ~0ull;
+  std::uint32_t best_len = 0;
+  for (std::uint32_t i = 0; i < subflows_.size(); ++i) {
+    if (i == active_subflow_) continue;
+    for (const auto& r : subflows_[i]->UnackedDssRanges()) {
+      if (r.dss_seq < best_dss && r.dss_seq >= dss_una_) {
+        best_dss = r.dss_seq;
+        best_len = r.len;
+      }
+    }
+    for (const auto& r : subflows_[i]->PendingDssRanges()) {
+      if (r.dss_seq < best_dss && r.dss_seq >= dss_una_) {
+        best_dss = r.dss_seq;
+        best_len = std::min<std::uint32_t>(r.len, config_.subflow.mss);
+      }
+    }
+  }
+  if (best_len == 0) return;
+
+  std::uint32_t budget = config_.reinject_burst_segments;
+  std::uint64_t dss = best_dss;
+  while (budget-- > 0 && dss < dss_next_) {
+    active->AddMappedData(best_len, dss);
+    ++mp_stats_.reinjections;
+    mp_stats_.reinjected_bytes += best_len;
+    dss += best_len;
+  }
+}
+
+std::uint64_t MptcpConnection::reorder_events() const {
+  std::uint64_t total = 0;
+  for (const auto& s : subflows_) total += s->stats().reorder_events;
+  return total;
+}
+
+std::uint64_t MptcpConnection::reorder_marked_lost() const {
+  std::uint64_t total = 0;
+  for (const auto& s : subflows_) total += s->stats().reorder_marked_lost;
+  return total;
+}
+
+}  // namespace tdtcp

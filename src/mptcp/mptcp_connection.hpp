@@ -1,0 +1,116 @@
+// Multipath TCP with the paper's `tdm_schd` scheduler (§2.2).
+//
+// The meta-connection owns one subflow per network, each pinned to its path
+// (subflow 0 → packet network, subflow 1 → optical circuit), each a full
+// TcpConnection with its own sequence space. New application data is mapped
+// into the data-sequence (DSS) space and steered to whichever subflow's
+// network the RDCN schedule currently provides. Subflow ACKs piggyback a
+// DATA_ACK (dss_ack) that frees the bounded meta send buffer.
+//
+// The stall mechanism the paper measures arises structurally: tail segments
+// sent on the optical subflow right before circuit teardown sit stashed at
+// the ToR (their path is pinned and inactive), so the DATA_ACK stops
+// advancing, the meta send buffer fills, and the sender cannot push new data
+// on the now-active packet subflow until connection-level reinjection remaps
+// the stranded DSS range onto it — at the cost of duplicate transmissions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/receive_buffer.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace tdtcp {
+
+class MptcpConnection : public PacketSink {
+ public:
+  struct Config {
+    TcpConfig subflow;                 // base subflow configuration
+    std::uint32_t num_subflows = 2;    // subflow i is pinned to path i
+    // Meta-level send buffer: unacked-at-meta data is bounded by this, which
+    // is what turns a stalled DATA_ACK (hole parked on a dead subflow) into
+    // a transmission stall a few hundred microseconds later.
+    std::uint64_t meta_snd_buf_bytes = 128 * 8940;
+    // Meta-level receive buffer shared by all subflows (Linux-scale, MBs). A
+    // data-sequence hole lets in-order-at-subflow data pile up here; if it
+    // ever fills, the advertised meta window closes — §3.3's flow-control
+    // stall. The send buffer usually binds first.
+    std::uint64_t meta_rcv_buf_bytes = 512 * 8940;
+    // How long the scheduler tolerates a stall before reinjecting, and how
+    // many segments one reinjection pass remaps. The delay approximates the
+    // subflow-RTO-scale trigger of the reference implementation.
+    SimTime reinject_delay = SimTime::Micros(500);
+    std::uint32_t reinject_burst_segments = 8;
+    // Keep this many unsent segments queued per active subflow.
+    std::uint32_t subflow_queue_segments = 2;
+  };
+
+  struct Stats {
+    std::uint64_t scheduled_segments = 0;
+    std::uint64_t reinjections = 0;
+    std::uint64_t reinjected_bytes = 0;
+    std::uint64_t stall_checks = 0;
+    std::uint64_t meta_duplicates = 0;  // receiver-side DSS dups discarded
+    std::uint64_t zero_window_acks = 0; // flow-control stall evidence
+  };
+
+  MptcpConnection(Simulator& sim, Host* host, FlowId flow, NodeId peer,
+                  Config config);
+  ~MptcpConnection() override;
+
+  void Listen();
+  void Connect();
+  void SetUnlimitedData(bool unlimited);
+
+  void HandlePacket(Packet&& p) override;
+
+  // Sender-side meta progress: DSS bytes cumulatively DATA_ACKed.
+  std::uint64_t meta_bytes_acked() const { return dss_una_ - 1; }
+  // Receiver-side meta progress: DSS bytes delivered in order to the app.
+  std::uint64_t meta_bytes_delivered() const { return meta_rcv_.rcv_nxt() - 1; }
+
+  TcpConnection* subflow(std::uint32_t i) { return subflows_[i].get(); }
+  std::uint32_t active_subflow() const { return active_subflow_; }
+  const Stats& stats() const { return mp_stats_; }
+
+  // Aggregate reordering stats across subflows (Fig. 10's MPTCP line).
+  std::uint64_t reorder_events() const;
+  std::uint64_t reorder_marked_lost() const;
+
+ private:
+  void OnTdnChange(TdnId tdn, bool imminent);
+  void TrySchedule();
+  void OnDssAck(std::uint64_t dss_ack, std::uint64_t dss_rwnd);
+  void OnSubflowDeliver(const TcpConnection::DeliverInfo& info);
+  void ArmReinjectTimer();
+  void MaybeReinject();
+  std::uint64_t MetaWindowUsed() const { return dss_next_ - dss_una_; }
+
+  Simulator& sim_;
+  Host* host_;
+  FlowId flow_;
+  Config config_;
+  std::vector<std::unique_ptr<TcpConnection>> subflows_;
+  std::uint32_t active_subflow_ = 0;
+  bool unlimited_ = false;
+
+  // Sender meta state (DSS space is 1-based like the stream space).
+  std::uint64_t dss_next_ = 1;
+  std::uint64_t dss_una_ = 1;
+  std::uint64_t peer_meta_wnd_ = 1ull << 30;
+
+  // Receiver meta reassembly.
+  ReceiveBuffer meta_rcv_;
+
+  EventId reinject_timer_ = kInvalidEventId;
+  SimTime last_progress_;
+
+  Stats mp_stats_;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,95 @@
+#include "net/fabric_port.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+FabricPort::FabricPort(Simulator& sim, Config config, PacketSink* remote,
+                       Random* rng)
+    : sim_(sim), config_(std::move(config)), remote_(remote), rng_(rng),
+      voq_(config_.voq), mode_(config_.initial_mode) {
+  assert(remote_ != nullptr);
+}
+
+void FabricPort::SetMode(const NetworkMode& mode) {
+  mode_ = mode;
+  // Pinned packets already admitted to the VOQ must not ride the wrong
+  // network: move the ones whose network just went away back to the stash
+  // (this is what strands an MPTCP subflow's tail ACKs for a whole week,
+  // §2.2), and pull in stashed packets whose network just came up.
+  if (!voq_.Empty()) {
+    std::deque<Packet> keep;
+    while (auto p = voq_.Dequeue()) {
+      if (p->pinned_path != kUnpinned && p->pinned_path != active_path()) {
+        auto& stash = stash_[p->pinned_path];
+        if (stash.size() >= config_.pinned_stash_capacity) {
+          ++pinned_dropped_;
+        } else {
+          stash.push_back(std::move(*p));
+        }
+      } else {
+        keep.push_back(std::move(*p));
+      }
+    }
+    for (auto& p : keep) voq_.Enqueue(std::move(p));
+  }
+  TopUpFromStash();
+  MaybeTransmit();
+}
+
+void FabricPort::SetBlackout(bool blackout) {
+  blackout_ = blackout;
+  if (!blackout_) MaybeTransmit();
+}
+
+void FabricPort::Enqueue(Packet&& p) {
+  p.enqueue_time = sim_.now();
+  if (p.pinned_path != kUnpinned && p.pinned_path != active_path()) {
+    auto& stash = stash_[p.pinned_path];
+    if (stash.size() >= config_.pinned_stash_capacity) {
+      ++pinned_dropped_;
+      return;
+    }
+    stash.push_back(std::move(p));
+    return;
+  }
+  voq_.Enqueue(std::move(p));  // may drop
+  MaybeTransmit();
+}
+
+std::uint32_t FabricPort::pinned_waiting() const {
+  return static_cast<std::uint32_t>(stash_[0].size() + stash_[1].size());
+}
+
+void FabricPort::TopUpFromStash() {
+  auto& stash = stash_[active_path()];
+  while (!stash.empty() && voq_.occupancy() < voq_.capacity()) {
+    voq_.Enqueue(std::move(stash.front()));
+    stash.pop_front();
+  }
+}
+
+void FabricPort::MaybeTransmit() {
+  if (busy_ || blackout_) return;
+  TopUpFromStash();
+  if (voq_.Empty()) return;
+  Packet p = *voq_.Dequeue();
+  // reTCP switch support: stamp which network carried this packet.
+  p.circuit_mark = mode_.circuit;
+  busy_ = true;
+  const SimTime tx = TransmissionTime(p.size_bytes, mode_.rate_bps);
+  sim_.Schedule(tx, [this, p = std::move(p)]() mutable {
+    busy_ = false;
+    SimTime prop = mode_.propagation;
+    if (!config_.reorder_jitter.IsZero() && rng_ != nullptr) {
+      prop += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);
+    }
+    sim_.Schedule(prop, [this, p = std::move(p)]() mutable {
+      remote_->HandlePacket(std::move(p));
+    });
+    MaybeTransmit();
+  });
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,86 @@
+// The reconfigurable ToR-to-ToR fabric port: a single VOQ whose service
+// rate, propagation delay, and availability follow the RDCN schedule.
+//
+// This mirrors Etalon's model: one virtual output queue per destination
+// rack, drained into whichever network (electrical packet or optical
+// circuit) the current configuration provides, and paused entirely during
+// reconfiguration nights. Leftover packets from a packet day drain at
+// circuit speed once the circuit comes up (A.3's "quickly drained").
+//
+// MPTCP experiments pin subflows to one network (§2.2). Pinned packets whose
+// network is not currently active wait in a side stash and join the VOQ when
+// their network returns — this is what strands subflow traffic and produces
+// MPTCP's flow-control stalls.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+// One network personality of the fabric (a TDN as seen by this rack pair).
+struct NetworkMode {
+  TdnId tdn = 0;
+  std::uint64_t rate_bps = 10'000'000'000;
+  SimTime propagation = SimTime::Micros(48);
+  bool circuit = false;  // true when this mode is an optical circuit
+};
+
+class FabricPort {
+ public:
+  struct Config {
+    Queue::Config voq;
+    NetworkMode initial_mode;
+    // Optional uniform extra propagation jitter (intra-TDN reordering).
+    SimTime reorder_jitter = SimTime::Zero();
+    std::uint32_t pinned_stash_capacity = 256;
+    std::string name;
+  };
+
+  FabricPort(Simulator& sim, Config config, PacketSink* remote, Random* rng = nullptr);
+
+  // Schedule control (driven by the RDCN controller).
+  void SetMode(const NetworkMode& mode);
+  void SetBlackout(bool blackout);
+
+  const NetworkMode& mode() const { return mode_; }
+  bool blackout() const { return blackout_; }
+
+  void Enqueue(Packet&& p);
+
+  Queue& voq() { return voq_; }
+  const Queue& voq() const { return voq_; }
+
+  // Total packets stashed because their pinned network is inactive.
+  std::uint32_t pinned_waiting() const;
+  std::uint64_t pinned_dropped() const { return pinned_dropped_; }
+
+  const std::string& name() const { return config_.name; }
+
+ private:
+  // Active path index: 0 = packet network, 1 = circuit.
+  int active_path() const { return mode_.circuit ? 1 : 0; }
+
+  void TopUpFromStash();
+  void MaybeTransmit();
+
+  Simulator& sim_;
+  Config config_;
+  PacketSink* remote_;
+  Random* rng_;
+  Queue voq_;
+  NetworkMode mode_;
+  bool blackout_ = false;
+  bool busy_ = false;
+  std::deque<Packet> stash_[2];
+  std::uint64_t pinned_dropped_ = 0;
+};
+
+}  // namespace tdtcp

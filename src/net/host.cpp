@@ -1,0 +1,54 @@
+#include "net/host.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+void Host::Send(Packet&& p) {
+  assert(uplink_ != nullptr && "host has no uplink");
+  p.src = id_;
+  uplink_->Enqueue(std::move(p));
+}
+
+void Host::HandlePacket(Packet&& p) {
+  if (p.type == PacketType::kTdnNotify) {
+    DistributeTdn(p.notify_tdn, p.circuit_imminent, p.notify_peer);
+    return;
+  }
+  auto it = endpoints_.find(p.flow);
+  if (it == endpoints_.end()) {
+    ++dropped_no_endpoint_;
+    return;
+  }
+  it->second->HandlePacket(std::move(p));
+}
+
+void Host::DistributeTdn(TdnId tdn, bool imminent, RackId peer) {
+  const auto matches = [peer](const ListenerEntry& l) {
+    return peer == kAllRacks || l.peer_rack == kAllRacks ||
+           l.peer_rack == peer;
+  };
+  if (notify_.pull_model) {
+    // Flows read a shared variable: all see the new TDN at once.
+    for (auto& l : tdn_listeners_) {
+      if (matches(l)) l.fn(tdn, imminent);
+    }
+    return;
+  }
+  // Push model: the kernel walks the flow list; flow i learns the new TDN
+  // i staggers later ("unlucky flows which see the TDN update after others
+  // get less time to send", §5.4).
+  for (std::size_t i = 0; i < tdn_listeners_.size(); ++i) {
+    if (!matches(tdn_listeners_[i])) continue;
+    const void* owner = tdn_listeners_[i].owner;
+    sim_.Schedule(notify_.push_stagger * static_cast<std::int64_t>(i),
+                  [this, owner, tdn, imminent] {
+                    for (auto& l : tdn_listeners_) {
+                      if (l.owner == owner) l.fn(tdn, imminent);
+                    }
+                  });
+  }
+}
+
+}  // namespace tdtcp

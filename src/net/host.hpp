@@ -1,0 +1,85 @@
+// An end host: NIC uplink to its ToR, endpoint (socket) registry, and the
+// kernel-side TDN-notification distribution model from §5.4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+
+// How the host kernel distributes a freshly received TDN ID to its flows.
+// "Push" loops over established flows one by one (each successive flow sees
+// the update `push_stagger` later); "pull" publishes a global variable that
+// every flow reads immediately (§5.4's 3-orders-of-magnitude optimization).
+struct NotifyDistribution {
+  bool pull_model = true;
+  SimTime push_stagger = SimTime::Micros(4);
+};
+
+class Host : public PacketSink {
+ public:
+  // Called when the host learns the active TDN changed. `imminent` is the
+  // reTCPdyn advance notice (circuit coming up shortly).
+  using TdnListener = std::function<void(TdnId tdn, bool imminent)>;
+
+  Host(Simulator& sim, NodeId id) : sim_(sim), id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  void AttachUplink(Link* up) { uplink_ = up; }
+
+  // Sockets register to receive packets addressed to this host's flow.
+  void RegisterEndpoint(FlowId flow, PacketSink* endpoint) {
+    endpoints_[flow] = endpoint;
+  }
+  void UnregisterEndpoint(FlowId flow) { endpoints_.erase(flow); }
+
+  // Flow-ordered: the i-th registered listener is the i-th established flow
+  // the push model iterates over. `owner` keys removal. `peer_rack` filters
+  // per-destination notifications (multi-rack fabrics); kAllRacks listeners
+  // hear everything, and fabric-wide notifications reach every listener.
+  void AddTdnListener(const void* owner, TdnListener listener,
+                      RackId peer_rack = kAllRacks) {
+    tdn_listeners_.push_back({owner, peer_rack, std::move(listener)});
+  }
+  void RemoveTdnListener(const void* owner) {
+    std::erase_if(tdn_listeners_,
+                  [owner](const auto& e) { return e.owner == owner; });
+  }
+
+  void set_notify_distribution(NotifyDistribution d) { notify_ = d; }
+
+  // Transmit a packet from a local socket out the NIC.
+  void Send(Packet&& p);
+
+  // Packet arriving from the ToR (or control network).
+  void HandlePacket(Packet&& p) override;
+
+  std::uint64_t dropped_no_endpoint() const { return dropped_no_endpoint_; }
+
+ private:
+  struct ListenerEntry {
+    const void* owner;
+    RackId peer_rack;
+    TdnListener fn;
+  };
+
+  void DistributeTdn(TdnId tdn, bool imminent, RackId peer);
+
+  Simulator& sim_;
+  NodeId id_;
+  Link* uplink_ = nullptr;
+  std::unordered_map<FlowId, PacketSink*> endpoints_;
+  std::vector<ListenerEntry> tdn_listeners_;
+  NotifyDistribution notify_;
+  std::uint64_t dropped_no_endpoint_ = 0;
+};
+
+}  // namespace tdtcp

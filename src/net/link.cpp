@@ -1,0 +1,50 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+Link::Link(Simulator& sim, Config config, PacketSink* sink, Random* rng)
+    : sim_(sim), config_(std::move(config)), sink_(sink), rng_(rng),
+      queue_(config_.queue) {
+  assert(sink_ != nullptr);
+  assert(config_.rate_bps > 0);
+}
+
+void Link::Enqueue(Packet&& p) {
+  p.enqueue_time = sim_.now();
+  if (!queue_.Enqueue(std::move(p))) return;  // dropped
+  MaybeTransmit();
+}
+
+void Link::set_enabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  if (enabled_) MaybeTransmit();
+}
+
+void Link::MaybeTransmit() {
+  if (busy_ || !enabled_ || queue_.Empty()) return;
+  Packet p = *queue_.Dequeue();
+  busy_ = true;
+  const SimTime tx = TransmissionTime(p.size_bytes, config_.rate_bps);
+  sim_.Schedule(tx, [this, p = std::move(p)]() mutable {
+    busy_ = false;
+    Deliver(std::move(p));
+    MaybeTransmit();
+  });
+}
+
+void Link::Deliver(Packet&& p) {
+  SimTime delay = config_.propagation;
+  if (!config_.reorder_jitter.IsZero() && rng_ != nullptr) {
+    delay += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);
+  }
+  ++delivered_;
+  sim_.Schedule(delay, [this, p = std::move(p)]() mutable {
+    sink_->HandlePacket(std::move(p));
+  });
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,70 @@
+// A unidirectional link: bounded queue + serializing transmitter +
+// propagation delay.
+//
+// Packets serialize back-to-back at `rate_bps`, then arrive at the sink
+// after `propagation`. A link can be disabled (RDCN night): the
+// in-progress transmission completes, queued packets wait. Optional random
+// jitter models intra-TDN reordering (off by default; Fig. 10's baseline
+// reordering experiments enable it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+class Link {
+ public:
+  struct Config {
+    std::uint64_t rate_bps = 10'000'000'000;  // 10 Gbps
+    SimTime propagation = SimTime::Micros(1);
+    Queue::Config queue;
+    // When > 0, each packet's propagation is extended by a uniform random
+    // extra delay in [0, reorder_jitter]; late packets can overtake, which
+    // models intrinsic intra-TDN reordering.
+    SimTime reorder_jitter = SimTime::Zero();
+    std::string name;  // for tracing
+  };
+
+  Link(Simulator& sim, Config config, PacketSink* sink, Random* rng = nullptr);
+
+  // Admits a packet to the queue (may drop) and kicks the transmitter.
+  void Enqueue(Packet&& p);
+
+  // Night/blackout control: a disabled link does not start new
+  // transmissions; the one in flight (if any) still completes and
+  // propagates.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  void set_rate_bps(std::uint64_t rate) { config_.rate_bps = rate; }
+  std::uint64_t rate_bps() const { return config_.rate_bps; }
+
+  Queue& queue() { return queue_; }
+  const Queue& queue() const { return queue_; }
+  const std::string& name() const { return config_.name; }
+
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  void MaybeTransmit();
+  void Deliver(Packet&& p);
+
+  Simulator& sim_;
+  Config config_;
+  PacketSink* sink_;
+  Random* rng_;
+  Queue queue_;
+  bool busy_ = false;
+  bool enabled_ = true;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,10 @@
+#include "net/packet.hpp"
+
+namespace tdtcp {
+
+std::uint64_t NextPacketId() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+}  // namespace tdtcp

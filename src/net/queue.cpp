@@ -1,0 +1,31 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdtcp {
+
+bool Queue::Enqueue(Packet&& p) {
+  if (q_.size() >= config_.capacity_packets) {
+    ++stats_.dropped;
+    return false;
+  }
+  if (q_.size() >= config_.ecn_threshold_packets && p.ecn == Ecn::kEct0) {
+    p.ecn = Ecn::kCe;
+    ++stats_.ce_marked;
+  }
+  q_.push_back(std::move(p));
+  ++stats_.enqueued;
+  stats_.max_occupancy =
+      std::max(stats_.max_occupancy, static_cast<std::uint32_t>(q_.size()));
+  return true;
+}
+
+std::optional<Packet> Queue::Dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,60 @@
+// Drop-tail packet queue with DCTCP-style ECN marking.
+//
+// Models a ToR virtual output queue (VOQ): bounded in packets (the paper
+// uses 16 jumbo frames), instantaneous-occupancy CE marking above a
+// threshold K, and runtime-resizable capacity (reTCPdyn enlarges the VOQ to
+// 50 packets ahead of a circuit day).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace tdtcp {
+
+class Queue {
+ public:
+  struct Config {
+    std::uint32_t capacity_packets = 16;
+    // CE-mark packets admitted while occupancy >= threshold. The default
+    // (max) disables marking; DCTCP configs set a small K.
+    std::uint32_t ecn_threshold_packets = std::numeric_limits<std::uint32_t>::max();
+  };
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t ce_marked = 0;
+    std::uint32_t max_occupancy = 0;
+  };
+
+  explicit Queue(Config config) : config_(config) {}
+  Queue() : Queue(Config{}) {}
+
+  // Returns false (and counts a drop) when full. Applies CE marking to
+  // ECN-capable packets admitted above the threshold.
+  bool Enqueue(Packet&& p);
+
+  std::optional<Packet> Dequeue();
+  const Packet* Peek() const { return q_.empty() ? nullptr : &q_.front(); }
+
+  bool Empty() const { return q_.empty(); }
+  std::uint32_t occupancy() const { return static_cast<std::uint32_t>(q_.size()); }
+  std::uint32_t capacity() const { return config_.capacity_packets; }
+
+  // Runtime resize; shrinking never discards already-queued packets.
+  void set_capacity(std::uint32_t packets) { config_.capacity_packets = packets; }
+  void set_ecn_threshold(std::uint32_t packets) { config_.ecn_threshold_packets = packets; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  std::deque<Packet> q_;
+  Stats stats_;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,62 @@
+#include "net/topology.hpp"
+
+#include <string>
+
+namespace tdtcp {
+
+Topology::Topology(Simulator& sim, Random& rng, const TopologyConfig& config)
+    : config_(config) {
+  const std::uint32_t total_hosts = config.num_racks * config.hosts_per_rack;
+  hosts_.reserve(total_hosts);
+  for (NodeId id = 0; id < total_hosts; ++id) {
+    hosts_.push_back(std::make_unique<Host>(sim, id));
+    hosts_.back()->set_notify_distribution(config.notify_dist);
+  }
+
+  tors_.reserve(config.num_racks);
+  for (RackId r = 0; r < config.num_racks; ++r) {
+    tors_.push_back(std::make_unique<ToRSwitch>(sim, r, config.notify, &rng));
+    tors_.back()->SetRackResolver(
+        [hpr = config.hosts_per_rack](NodeId id) { return id / hpr; });
+  }
+
+  // Rack machine NICs (shared by all hosts in the rack, per Fig. 6).
+  Link::Config host_link;
+  host_link.rate_bps = config.host_link_rate_bps;
+  host_link.propagation = config.host_link_delay;
+  host_link.queue.capacity_packets = config.host_queue_capacity;
+
+  for (RackId r = 0; r < config.num_racks; ++r) {
+    Link::Config up = host_link;
+    up.name = "rack" + std::to_string(r) + "-up";
+    links_.push_back(std::make_unique<Link>(sim, up, tors_[r].get()));
+    Link* uplink = links_.back().get();
+
+    demuxes_.push_back(std::make_unique<RackDemux>(this));
+    Link::Config down = host_link;
+    down.name = "rack" + std::to_string(r) + "-down";
+    links_.push_back(std::make_unique<Link>(sim, down, demuxes_.back().get()));
+    Link* downlink = links_.back().get();
+
+    for (std::uint32_t i = 0; i < config.hosts_per_rack; ++i) {
+      Host* h = host(r, i);
+      h->AttachUplink(uplink);
+      tors_[r]->AttachHost(h->id(), downlink, h);
+    }
+  }
+
+  // Full mesh of fabric ports between racks, starting on the packet network.
+  for (RackId a = 0; a < config.num_racks; ++a) {
+    for (RackId b = 0; b < config.num_racks; ++b) {
+      if (a == b) continue;
+      FabricPort::Config fp;
+      fp.voq = config.voq;
+      fp.initial_mode = config.packet_mode;
+      fp.reorder_jitter = config.fabric_reorder_jitter;
+      fp.name = "fabric" + std::to_string(a) + "-" + std::to_string(b);
+      tors_[a]->AddRemoteRack(b, fp, tors_[b].get());
+    }
+  }
+}
+
+}  // namespace tdtcp

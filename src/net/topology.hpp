@@ -1,0 +1,90 @@
+// Builds the paper's evaluation topology (Fig. 6): racks of hosts behind
+// ToR switches connected by a reconfigurable fabric.
+//
+// Host ids are rack * hosts_per_rack + index. All benches use two racks, as
+// in the paper ("we can emulate any scale of RDCN using this topology by
+// pinning flows between this pair of racks"), but the builder supports any
+// rack count with a full mesh of fabric ports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/fabric_port.hpp"
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/tor_switch.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+
+struct TopologyConfig {
+  std::uint32_t num_racks = 2;
+  std::uint32_t hosts_per_rack = 16;
+
+  // The rack "machine NIC" (Fig. 6): every emulated host in a rack shares
+  // one data-plane NIC in each direction, so the rack's aggregate arrival
+  // rate at the ToR can never exceed this — exactly the property that keeps
+  // the synchronized post-notification burst from instantly overflowing the
+  // VOQ at circuit start in the real testbed.
+  std::uint64_t host_link_rate_bps = 100'000'000'000;
+  SimTime host_link_delay = SimTime::Nanos(500);
+  std::uint32_t host_queue_capacity = 1024;
+
+  // The two TDN personalities of the fabric. Defaults reproduce §5.1:
+  // packet network 10 Gbps / ~100 us RTT, optical 100 Gbps / ~40 us RTT.
+  NetworkMode packet_mode{/*tdn=*/0, /*rate=*/10'000'000'000,
+                          /*prop=*/SimTime::Micros(48), /*circuit=*/false};
+  NetworkMode circuit_mode{/*tdn=*/1, /*rate=*/100'000'000'000,
+                           /*prop=*/SimTime::Micros(18), /*circuit=*/true};
+
+  Queue::Config voq{/*capacity=*/16,
+                    /*ecn_threshold=*/std::numeric_limits<std::uint32_t>::max()};
+  SimTime fabric_reorder_jitter = SimTime::Zero();
+
+  NotifyGenConfig notify;
+  NotifyDistribution notify_dist;
+};
+
+class Topology {
+ public:
+  Topology(Simulator& sim, Random& rng, const TopologyConfig& config);
+
+  Host* host(RackId rack, std::uint32_t index) {
+    return hosts_[rack * config_.hosts_per_rack + index].get();
+  }
+  Host* host_by_id(NodeId id) { return hosts_[id].get(); }
+  ToRSwitch* tor(RackId rack) { return tors_[rack].get(); }
+
+  // The fabric port carrying traffic from `src` rack toward `dst` rack.
+  FabricPort* port(RackId src, RackId dst) { return tors_[src]->port(dst); }
+
+  NodeId host_id(RackId rack, std::uint32_t index) const {
+    return rack * config_.hosts_per_rack + index;
+  }
+  RackId rack_of(NodeId host) const { return host / config_.hosts_per_rack; }
+
+  const TopologyConfig& config() const { return config_; }
+
+ private:
+  // Delivers rack-downlink packets to the destination host.
+  class RackDemux : public PacketSink {
+   public:
+    explicit RackDemux(Topology* topo) : topo_(topo) {}
+    void HandlePacket(Packet&& p) override {
+      topo_->host_by_id(p.dst)->HandlePacket(std::move(p));
+    }
+   private:
+    Topology* topo_;
+  };
+
+  TopologyConfig config_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<ToRSwitch>> tors_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<RackDemux>> demuxes_;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,76 @@
+#include "net/tor_switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+void ToRSwitch::AttachHost(NodeId host, Link* downlink, PacketSink* control_sink) {
+  host_index_[host] = hosts_.size();
+  hosts_.push_back(HostPort{host, downlink, control_sink});
+}
+
+FabricPort* ToRSwitch::AddRemoteRack(RackId rack, FabricPort::Config config,
+                                     PacketSink* remote_tor) {
+  auto port = std::make_unique<FabricPort>(sim_, std::move(config), remote_tor, rng_);
+  FabricPort* raw = port.get();
+  ports_[rack] = std::move(port);
+  return raw;
+}
+
+void ToRSwitch::HandlePacket(Packet&& p) {
+  assert(rack_of_ && "rack resolver not installed");
+  ++forwarded_;
+  const RackId dst_rack = rack_of_(p.dst);
+  if (dst_rack == rack_) {
+    auto it = host_index_.find(p.dst);
+    assert(it != host_index_.end() && "unknown local host");
+    hosts_[it->second].downlink->Enqueue(std::move(p));
+    return;
+  }
+  auto it = ports_.find(dst_rack);
+  assert(it != ports_.end() && "no fabric port for destination rack");
+  it->second->Enqueue(std::move(p));
+}
+
+SimTime ToRSwitch::SampleGenDelay() {
+  if (notify_.cached_packet) {
+    if (rng_ == nullptr) return notify_.gen_delay_cached_median;
+    return rng_->LognormalTime(notify_.gen_delay_cached_median,
+                               notify_.cached_sigma);
+  }
+  if (rng_ == nullptr) return notify_.gen_delay_fresh_median;
+  return rng_->LognormalTime(notify_.gen_delay_fresh_median, notify_.gen_sigma);
+}
+
+void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer) {
+  last_notify_latency_.assign(hosts_.size(), SimTime::Zero());
+  SimTime accumulated = SimTime::Zero();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    accumulated += SampleGenDelay();
+    last_notify_latency_[i] = accumulated;
+
+    Packet icmp;
+    icmp.id = NextPacketId();
+    icmp.type = PacketType::kTdnNotify;
+    icmp.size_bytes = 64;
+    icmp.dst = hosts_[i].id;
+    icmp.notify_tdn = tdn;
+    icmp.circuit_imminent = imminent;
+    icmp.notify_peer = peer;
+    ++notifications_sent_;
+
+    if (notify_.via_control_network) {
+      PacketSink* sink = hosts_[i].control;
+      sim_.Schedule(accumulated + notify_.control_delay,
+                    [sink, icmp]() mutable { sink->HandlePacket(std::move(icmp)); });
+    } else {
+      // Data-plane delivery: the ICMP rides the (possibly busy) downlink.
+      Link* down = hosts_[i].downlink;
+      sim_.Schedule(accumulated,
+                    [down, icmp]() mutable { down->Enqueue(std::move(icmp)); });
+    }
+  }
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,77 @@
+#include "rdcn/controller.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+RdcnController::RdcnController(Simulator& sim, Config config,
+                               std::vector<FabricPort*> ports,
+                               std::vector<ToRSwitch*> tors)
+    : sim_(sim), config_(config), schedule_(config.schedule),
+      ports_(std::move(ports)), tors_(std::move(tors)) {
+  assert(!ports_.empty());
+  if (!ports_.empty()) normal_voq_packets_ = ports_.front()->voq().capacity();
+}
+
+void RdcnController::Start() {
+  start_time_ = sim_.now();
+  RunDay(0);
+}
+
+void RdcnController::RunDay(std::uint32_t day_index) {
+  const bool circuit = (day_index == config_.schedule.circuit_day);
+  const NetworkMode& mode = circuit ? config_.circuit_mode : config_.packet_mode;
+
+  ++reconfigurations_;
+  for (FabricPort* p : ports_) {
+    p->SetMode(mode);
+    p->SetBlackout(false);
+  }
+  // ToRs proactively notify hosts when the path actually changes. Identical
+  // consecutive packet days produce no notification (the TDN is unchanged),
+  // and circuit teardown is announced at night start by RunNight.
+  if (mode.tdn != last_notified_tdn_) NotifyAll(mode.tdn);
+
+  // reTCPdyn: ahead of the next circuit day, enlarge VOQs and warn senders.
+  if (config_.dynamic_voq) {
+    const std::uint32_t days = config_.schedule.num_days;
+    const std::uint32_t next = (day_index + 1) % days;
+    if (next == config_.schedule.circuit_day) {
+      const SimTime until_next_day = config_.schedule.day_length +
+                                     config_.schedule.night_length;
+      if (until_next_day > config_.resize_advance) {
+        sim_.Schedule(until_next_day - config_.resize_advance, [this] {
+          ResizeVoqs(config_.enlarged_voq_packets);
+          NotifyAll(ports_.front()->mode().tdn, /*imminent=*/true);
+        });
+      }
+    }
+  }
+
+  sim_.Schedule(config_.schedule.day_length,
+                [this, day_index] { RunNight(day_index); });
+}
+
+void RdcnController::RunNight(std::uint32_t day_index) {
+  const bool was_circuit = (day_index == config_.schedule.circuit_day);
+  for (FabricPort* p : ports_) p->SetBlackout(true);
+  if (was_circuit) {
+    // Circuit teardown: the hosts' next packets must be modeled on TDN 0.
+    NotifyAll(config_.packet_mode.tdn);
+    if (config_.dynamic_voq) ResizeVoqs(normal_voq_packets_);
+  }
+  const std::uint32_t next = (day_index + 1) % config_.schedule.num_days;
+  sim_.Schedule(config_.schedule.night_length, [this, next] { RunDay(next); });
+}
+
+void RdcnController::NotifyAll(TdnId tdn, bool imminent) {
+  if (!imminent) last_notified_tdn_ = tdn;
+  for (ToRSwitch* tor : tors_) tor->NotifyHosts(tdn, imminent);
+}
+
+void RdcnController::ResizeVoqs(std::uint32_t packets) {
+  for (FabricPort* p : ports_) p->voq().set_capacity(packets);
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,69 @@
+// Drives the fabric through the RDCN schedule: reconfigures fabric ports at
+// day/night boundaries, blacks the fabric out during reconfiguration, emits
+// ToR-generated TDN-change notifications (§3.2), and implements reTCPdyn's
+// switch cooperation (VOQ enlargement + advance ramp notice, §5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric_port.hpp"
+#include "net/tor_switch.hpp"
+#include "rdcn/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+
+class RdcnController {
+ public:
+  struct Config {
+    ScheduleConfig schedule;
+    NetworkMode packet_mode;
+    NetworkMode circuit_mode;
+
+    // reTCPdyn switch support: enlarge the VOQ `resize_advance` before each
+    // circuit day and send a circuit-imminent notification so senders
+    // pre-fill the queue; restore at circuit teardown.
+    bool dynamic_voq = false;
+    SimTime resize_advance = SimTime::Micros(150);
+    std::uint32_t enlarged_voq_packets = 50;
+  };
+
+  // `ports` are the fabric ports of the observed rack pair (both
+  // directions); `tors` the switches whose hosts should be notified.
+  RdcnController(Simulator& sim, Config config, std::vector<FabricPort*> ports,
+                 std::vector<ToRSwitch*> tors);
+
+  // Begins executing the schedule at the current simulation time (which
+  // becomes the start of week 0, day 0).
+  void Start();
+
+  const Schedule& schedule() const { return schedule_; }
+  SimTime start_time() const { return start_time_; }
+
+  // Schedule queries relative to the controller's start time.
+  TdnId ActiveTdn(SimTime t) const { return schedule_.TdnAt(Rel(t)); }
+  bool BlackoutAt(SimTime t) const { return schedule_.BlackoutAt(Rel(t)); }
+
+  std::uint32_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  SimTime Rel(SimTime t) const { return t - start_time_; }
+
+  void RunDay(std::uint32_t day_index);
+  void RunNight(std::uint32_t day_index);
+  void NotifyAll(TdnId tdn, bool imminent = false);
+  void ResizeVoqs(std::uint32_t packets);
+
+  Simulator& sim_;
+  Config config_;
+  Schedule schedule_;
+  std::vector<FabricPort*> ports_;
+  std::vector<ToRSwitch*> tors_;
+  SimTime start_time_;
+  std::uint32_t normal_voq_packets_ = 16;
+  std::uint32_t reconfigurations_ = 0;
+  TdnId last_notified_tdn_ = 0;
+};
+
+}  // namespace tdtcp

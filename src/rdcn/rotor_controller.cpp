@@ -1,0 +1,80 @@
+#include "rdcn/rotor_controller.hpp"
+
+#include <cassert>
+
+namespace tdtcp {
+
+RotorController::RotorController(Simulator& sim, Config config, Topology* topo)
+    : sim_(sim), config_(config), topo_(topo) {
+  assert(topo_->config().num_racks >= 2);
+  assert(topo_->config().num_racks % 2 == 0 &&
+         "round-robin matchings need an even rack count");
+  BuildMatchings();
+}
+
+void RotorController::BuildMatchings() {
+  // Classic round-robin tournament ("circle method"): rack 0 is fixed, the
+  // others rotate; every day is a perfect matching and all pairs meet once
+  // per week.
+  const std::uint32_t n = topo_->config().num_racks;
+  const std::uint32_t days = n - 1;
+  matchings_.assign(days, std::vector<RackId>(n, 0));
+  for (std::uint32_t d = 0; d < days; ++d) {
+    auto& m = matchings_[d];
+    // Position table: slot 0 holds rack 0; slots 1..n-1 hold the rotated rest.
+    std::vector<RackId> slots(n);
+    slots[0] = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      slots[i] = 1 + (d + i - 1) % (n - 1);
+    }
+    // Pair slot i with slot n-1-i.
+    for (std::uint32_t i = 0; i < n / 2; ++i) {
+      const RackId a = slots[i];
+      const RackId b = slots[n - 1 - i];
+      m[a] = b;
+      m[b] = a;
+    }
+  }
+}
+
+void RotorController::Start() { RunDay(0); }
+
+void RotorController::RunDay(std::uint32_t day) {
+  const std::uint32_t n = topo_->config().num_racks;
+  const auto& matching = matchings_[day];
+  for (RackId a = 0; a < n; ++a) {
+    const RackId partner = matching[a];
+    for (RackId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      FabricPort* port = topo_->port(a, b);
+      const bool circuit = (b == partner);
+      const NetworkMode& mode =
+          circuit ? config_.circuit_mode : config_.packet_mode;
+      const bool changed = port->mode().tdn != mode.tdn;
+      port->SetMode(mode);
+      port->SetBlackout(false);
+      if (changed) {
+        topo_->tor(a)->NotifyHosts(mode.tdn, /*imminent=*/false, /*peer=*/b);
+      }
+    }
+  }
+  sim_.Schedule(config_.day_length, [this, day] { RunNight(day); });
+}
+
+void RotorController::RunNight(std::uint32_t day) {
+  const std::uint32_t n = topo_->config().num_racks;
+  const auto& matching = matchings_[day];
+  for (RackId a = 0; a < n; ++a) {
+    for (RackId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      topo_->port(a, b)->SetBlackout(true);
+    }
+    // Circuit teardown notice for the pair that was connected.
+    topo_->tor(a)->NotifyHosts(config_.packet_mode.tdn, /*imminent=*/false,
+                               /*peer=*/matching[a]);
+  }
+  const std::uint32_t next = (day + 1) % matchings_.size();
+  sim_.Schedule(config_.night_length, [this, next] { RunDay(next); });
+}
+
+}  // namespace tdtcp

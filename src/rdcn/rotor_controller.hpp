@@ -1,0 +1,59 @@
+// Multi-rack demand-oblivious rotation (RotorNet-style, §6): each day the
+// OCS realizes one perfect matching over the racks; cycling through all
+// N-1 matchings provides full-mesh connectivity once per week.
+//
+// This extends the paper's two-rack evaluation fabric: ToRs issue
+// per-destination TDN notifications (the ICMP additionally scopes the
+// change to one remote rack), so a host's flows to different racks keep
+// independent, correctly-sequenced TDN views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "rdcn/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+
+class RotorController {
+ public:
+  struct Config {
+    SimTime day_length = SimTime::Micros(180);
+    SimTime night_length = SimTime::Micros(20);
+    NetworkMode packet_mode;
+    NetworkMode circuit_mode;
+  };
+
+  // Drives every fabric port of `topo` (requires an even rack count >= 2).
+  RotorController(Simulator& sim, Config config, Topology* topo);
+
+  void Start();
+
+  std::uint32_t num_matchings() const {
+    return static_cast<std::uint32_t>(matchings_.size());
+  }
+  SimTime week_length() const {
+    return (config_.day_length + config_.night_length) *
+           static_cast<std::int64_t>(matchings_.size());
+  }
+
+  // The rack matched with `rack` on matching `day` (round-robin tournament).
+  RackId PartnerOf(std::uint32_t day, RackId rack) const {
+    return matchings_[day][rack];
+  }
+
+ private:
+  void BuildMatchings();
+  void RunDay(std::uint32_t day);
+  void RunNight(std::uint32_t day);
+
+  Simulator& sim_;
+  Config config_;
+  Topology* topo_;
+  // matchings_[day][rack] = partner rack.
+  std::vector<std::vector<RackId>> matchings_;
+};
+
+}  // namespace tdtcp

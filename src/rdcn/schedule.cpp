@@ -1,0 +1,62 @@
+#include "rdcn/schedule.hpp"
+
+#include <cassert>
+
+namespace tdtcp {
+
+Schedule::Slot Schedule::SlotAt(SimTime t) const {
+  assert(t >= SimTime::Zero());
+  const SimTime week = week_length();
+  const SimTime week_start = t - (t % week);
+  const SimTime in_week = t % week;
+  const std::int64_t day_index = in_week / slot_length();
+  const SimTime slot_start = week_start + slot_length() * day_index;
+  const SimTime day_end = slot_start + config_.day_length;
+
+  Slot slot;
+  slot.day_index = static_cast<std::uint32_t>(day_index);
+  slot.circuit = (slot.day_index == config_.circuit_day);
+  if (t < day_end) {
+    slot.night = false;
+    slot.start = slot_start;
+    slot.end = day_end;
+  } else {
+    slot.night = true;
+    slot.start = day_end;
+    slot.end = slot_start + slot_length();
+  }
+  return slot;
+}
+
+TdnId Schedule::TdnAt(SimTime t) const {
+  const Slot s = SlotAt(t);
+  return (s.circuit && !s.night) ? TdnId{1} : TdnId{0};
+}
+
+double Schedule::OptimalBits(SimTime t, std::uint64_t packet_bps,
+                             std::uint64_t circuit_bps) const {
+  const SimTime week = week_length();
+  const std::int64_t full_weeks = t / week;
+  const double day_s = config_.day_length.seconds();
+  const double per_week_bits =
+      day_s * (static_cast<double>(packet_bps) * (config_.num_days - 1) +
+               static_cast<double>(circuit_bps));
+
+  double bits = per_week_bits * static_cast<double>(full_weeks);
+
+  // Partial final week: walk its slots.
+  SimTime cursor = week * full_weeks;
+  while (cursor < t) {
+    const Slot s = SlotAt(cursor);
+    const SimTime seg_end = s.end < t ? s.end : t;
+    if (!s.night) {
+      const double rate = s.circuit ? static_cast<double>(circuit_bps)
+                                    : static_cast<double>(packet_bps);
+      bits += rate * (seg_end - cursor).seconds();
+    }
+    cursor = seg_end;
+  }
+  return bits;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,71 @@
+// The demand-oblivious RDCN schedule (§2.1): a week of fixed-length days
+// separated by reconfiguration nights. During one designated day per week
+// the observed rack pair is connected by the optical circuit (TDN 1); all
+// other days it communicates over the packet network (TDN 0). Nights black
+// out the fabric while the OCS reconfigures.
+//
+// Defaults reproduce §5.1: 180 us days, 20 us nights, 7 configurations per
+// week (a 6:1 packet:optical ratio, i.e., an 8-rack RotorNet-style RDCN).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+struct ScheduleConfig {
+  SimTime day_length = SimTime::Micros(180);
+  SimTime night_length = SimTime::Micros(20);
+  std::uint32_t num_days = 7;     // configurations per week
+  std::uint32_t circuit_day = 6;  // which day connects our rack pair
+};
+
+class Schedule {
+ public:
+  explicit Schedule(ScheduleConfig config) : config_(config) {}
+
+  const ScheduleConfig& config() const { return config_; }
+
+  SimTime slot_length() const { return config_.day_length + config_.night_length; }
+  SimTime week_length() const {
+    return slot_length() * static_cast<std::int64_t>(config_.num_days);
+  }
+
+  struct Slot {
+    std::uint32_t day_index = 0;  // 0 .. num_days-1
+    bool night = false;           // inside the blackout following the day
+    bool circuit = false;         // day connects our pair optically
+    SimTime start;                // start of the day (or night) segment
+    SimTime end;                  // end of the segment
+  };
+
+  // The schedule segment containing time `t` (weeks repeat forever).
+  Slot SlotAt(SimTime t) const;
+
+  // TDN a sender should model at time `t`: 1 only during the circuit day
+  // itself; nights and packet days are TDN 0.
+  TdnId TdnAt(SimTime t) const;
+
+  bool BlackoutAt(SimTime t) const { return SlotAt(t).night; }
+
+  // Analytic capacity helpers used for the "optimal" and "packet only"
+  // reference lines in the sequence graphs (§2.2, §5.2).
+  //
+  // Bits an ideal flow could move during [0, t] if it perfectly used
+  // whichever network is active (and nothing during nights).
+  double OptimalBits(SimTime t, std::uint64_t packet_bps,
+                     std::uint64_t circuit_bps) const;
+
+  // Bits a flow pinned to the packet network moves in [0, t]. Such a flow
+  // never rides the circuit and never experiences blackout (Fig. 9's note).
+  double PacketOnlyBits(SimTime t, std::uint64_t packet_bps) const {
+    return static_cast<double>(packet_bps) * t.seconds();
+  }
+
+ private:
+  ScheduleConfig config_;
+};
+
+}  // namespace tdtcp

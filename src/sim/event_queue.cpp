@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  live_.erase(id);
+}
+
+void EventQueue::DropDeadHead() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  DropDeadHead();
+  return heap_.empty() ? SimTime::Max() : heap_.top().at;
+}
+
+EventQueue::Event EventQueue::PopNext() {
+  DropDeadHead();
+  assert(!heap_.empty());
+  // Move the callback out before popping: the callback may schedule events,
+  // and we must not hold a reference into the heap while it runs.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  live_.erase(ev.id);
+  return ev;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,62 @@
+// A deterministic future-event list.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which makes simulations reproducible regardless of heap internals.
+// Cancellation is lazy: a cancelled event stays in the heap but is skipped
+// when popped, keeping Cancel() O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventId Schedule(SimTime at, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  // or invalid id is a harmless no-op, which simplifies timer management in
+  // protocol code.
+  void Cancel(EventId id);
+
+  bool Empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  // Time of the earliest live event; SimTime::Max() when empty.
+  SimTime NextTime();
+
+  struct Event {
+    SimTime at;
+    EventId id;  // also the FIFO tie-breaker: ids are monotonically increasing
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  // Pops the earliest live event WITHOUT running it. The caller must advance
+  // its clock to event.at before invoking event.fn, so that callbacks
+  // observe the correct current time. Precondition: !Empty().
+  Event PopNext();
+
+ private:
+
+  // Pops heap entries whose id is no longer live (cancelled).
+  void DropDeadHead();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unordered_set<EventId> live_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,56 @@
+// Seeded pseudo-random source for workloads and latency models.
+//
+// A thin wrapper over std::mt19937_64 so every experiment takes an explicit
+// seed and replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 1) : rng_(seed) {}
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng_);
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(rng_);
+  }
+
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(rng_);
+  }
+
+  // Lognormal with given median and sigma of the underlying normal; used by
+  // the notification-latency model (heavy upper tail, like packet
+  // construction cost in a software switch).
+  SimTime LognormalTime(SimTime median, double sigma) {
+    std::lognormal_distribution<double> d(0.0, sigma);
+    return SimTime::Picos(
+        static_cast<std::int64_t>(static_cast<double>(median.picos()) * d(rng_)));
+  }
+
+  SimTime UniformTime(SimTime lo, SimTime hi) {
+    return SimTime::Picos(UniformInt(lo.picos(), hi.picos()));
+  }
+
+  std::mt19937_64& engine() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tdtcp {
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule an event in the past");
+  return queue_.Schedule(at, std::move(fn));
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty()) {
+    // Advance the clock before running the callback so that everything the
+    // callback does (including relative scheduling) sees the event's time.
+    EventQueue::Event ev = queue_.PopNext();
+    now_ = ev.at;
+    ev.fn();
+    ++events_executed_;
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
+    EventQueue::Event ev = queue_.PopNext();
+    now_ = ev.at;
+    ev.fn();
+    ++events_executed_;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,51 @@
+// The simulation driver: a clock plus the future-event list.
+//
+// All model components hold a Simulator& and schedule callbacks through it;
+// nothing in the simulator blocks or uses wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after the current time (delay may be zero;
+  // zero-delay events run after the current event completes, in FIFO order).
+  EventId Schedule(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute time `at`. `at` must not be in the past.
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  // Runs until the event list drains or Stop() is called.
+  void Run();
+
+  // Runs events with time <= `until`, then advances the clock to `until`.
+  void RunUntil(SimTime until);
+
+  void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+
+  // Stops Run()/RunUntil() after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::Zero();
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,19 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace tdtcp {
+
+std::string SimTime::ToString() const {
+  char buf[48];
+  if (ps_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros()));
+  } else if (ps_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos()));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,80 @@
+#include "tcp/receive_buffer.hpp"
+
+#include <algorithm>
+
+namespace tdtcp {
+
+ReceiveBuffer::Result ReceiveBuffer::OnData(std::uint64_t seq, std::uint32_t len,
+                                            bool has_dss, std::uint64_t dss_seq,
+                                            SimTime now) {
+  Result result;
+  const std::uint64_t end = seq + len;
+
+  // Fully old data: duplicate; report a DSACK block (RFC 2883).
+  if (end <= rcv_nxt_ || ooo_.contains(seq)) {
+    result.duplicate = true;
+    result.dsack = SackBlock{seq, end};
+    return result;
+  }
+  if (seq < rcv_nxt_) {
+    // Partial overlap with delivered data; trim the stale prefix.
+    const std::uint64_t trim = rcv_nxt_ - seq;
+    seq = rcv_nxt_;
+    len -= static_cast<std::uint32_t>(trim);
+    if (has_dss) dss_seq += trim;
+  }
+
+  if (seq == rcv_nxt_) {
+    // In-order: deliver it plus any now-contiguous buffered segments.
+    result.delivered.push_back(Delivered{seq, len, has_dss, dss_seq});
+    rcv_nxt_ = seq + len;
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first == rcv_nxt_) {
+      result.delivered.push_back(
+          Delivered{it->first, it->second.len, it->second.has_dss, it->second.dss_seq});
+      rcv_nxt_ += it->second.len;
+      ooo_bytes_ -= it->second.len;
+      it = ooo_.erase(it);
+    }
+    // Drop ranges that are now fully delivered.
+    std::erase_if(ranges_, [this](const Range& r) { return r.end <= rcv_nxt_; });
+    for (auto& r : ranges_) r.start = std::max(r.start, rcv_nxt_);
+    return result;
+  }
+
+  // Out of order: buffer and record for SACK.
+  result.out_of_order = true;
+  ooo_.emplace(seq, OooSegment{len, has_dss, dss_seq});
+  ooo_bytes_ += len;
+  TouchRange(seq, seq + len, now);
+  return result;
+}
+
+void ReceiveBuffer::TouchRange(std::uint64_t start, std::uint64_t end, SimTime now) {
+  // Merge with any adjacent/overlapping ranges; the merged range is "most
+  // recent" per RFC 2018's guidance to report the newest block first.
+  Range merged{start, end, now};
+  std::erase_if(ranges_, [&merged](const Range& r) {
+    if (r.end < merged.start || r.start > merged.end) return false;
+    merged.start = std::min(merged.start, r.start);
+    merged.end = std::max(merged.end, r.end);
+    return true;
+  });
+  ranges_.push_back(merged);
+}
+
+std::vector<SackBlock> ReceiveBuffer::BuildSackBlocks(const Result& last) const {
+  std::vector<SackBlock> blocks;
+  if (last.duplicate) blocks.push_back(last.dsack);
+
+  std::vector<Range> sorted = ranges_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Range& a, const Range& b) { return a.last_touch > b.last_touch; });
+  for (const auto& r : sorted) {
+    if (blocks.size() >= kMaxSackBlocks) break;
+    blocks.push_back(SackBlock{r.start, r.end});
+  }
+  return blocks;
+}
+
+}  // namespace tdtcp

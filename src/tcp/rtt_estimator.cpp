@@ -1,0 +1,40 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace tdtcp {
+
+void RttEstimator::AddSample(SimTime rtt) {
+  if (rtt <= SimTime::Zero()) return;
+  ++samples_;
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (!has_sample_) {
+    has_sample_ = true;
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    return;
+  }
+  // srtt += (m - srtt) / 8 ; rttvar += (|m - srtt| - rttvar) / 4
+  const SimTime err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  srtt_ = srtt_ + (rtt - srtt_) / 8;
+  rttvar_ = rttvar_ + (err - rttvar_) / 4;
+}
+
+SimTime RttEstimator::Clamp(SimTime rto) const {
+  return std::clamp(rto, config_.min_rto, config_.max_rto);
+}
+
+SimTime RttEstimator::Rto() const {
+  if (!has_sample_) return config_.initial_rto;
+  return Clamp(srtt_ + rttvar_ * 4);
+}
+
+SimTime RttEstimator::SynthesizedRto(const RttEstimator& slowest) const {
+  if (!has_sample_) return config_.initial_rto;
+  const SimTime slow_srtt = slowest.has_sample() ? slowest.srtt() : srtt_;
+  const SimTime slow_var = slowest.has_sample() ? slowest.rttvar() : rttvar_;
+  const SimTime synth = srtt_ / 2 + slow_srtt / 2;
+  return Clamp(synth + std::max(rttvar_, slow_var) * 4);
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,54 @@
+// Jacobson/Karels smoothed RTT estimation with Linux-flavoured mdev/rttvar
+// tracking. TDTCP instantiates one estimator per TDN (§3.1's delay/RTT
+// variable class) and feeds each only samples whose data and ACK travelled
+// that TDN (§4.4).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    SimTime initial_rto = SimTime::Millis(1);
+    SimTime min_rto = SimTime::Micros(500);
+    SimTime max_rto = SimTime::Seconds(4);
+  };
+
+  RttEstimator() : RttEstimator(Config{}) {}
+  explicit RttEstimator(Config config) : config_(config) {}
+
+  // Add a measurement (Karn filtering — never sampling retransmitted
+  // segments — happens in the caller, which owns the scoreboard).
+  void AddSample(SimTime rtt);
+
+  bool has_sample() const { return has_sample_; }
+  SimTime srtt() const { return srtt_; }
+  SimTime rttvar() const { return rttvar_; }
+  SimTime min_rtt() const { return min_rtt_; }
+  std::uint64_t samples() const { return samples_; }
+
+  // RTO = srtt + 4 * rttvar, clamped to [min_rto, max_rto]; initial_rto
+  // before the first sample. Backoff is applied by the retransmit timer.
+  SimTime Rto() const;
+
+  // TDTCP's synthesized timeout (§4.4): the data rides this estimator's TDN
+  // but the ACK may return on the slowest one, so assume
+  // ½RTT(this) + ½RTT(slowest) plus the usual variance guard.
+  SimTime SynthesizedRto(const RttEstimator& slowest) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  SimTime Clamp(SimTime rto) const;
+
+  Config config_;
+  bool has_sample_ = false;
+  SimTime srtt_ = SimTime::Zero();
+  SimTime rttvar_ = SimTime::Zero();
+  SimTime min_rtt_ = SimTime::Max();
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,59 @@
+#include "tcp/send_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdtcp {
+
+void SendQueue::Append(TxSegment seg) {
+  assert(segs_.empty() || seg.seq >= segs_.back().end_seq());
+  segs_.push_back(seg);
+}
+
+void SendQueue::AckThrough(std::uint64_t ack,
+                           const std::function<void(const TxSegment&)>& fn) {
+  while (!segs_.empty() && segs_.front().end_seq() <= ack) {
+    fn(segs_.front());
+    segs_.pop_front();
+  }
+}
+
+std::uint32_t SendQueue::ApplySack(std::span<const SackBlock> blocks,
+                                   const std::function<void(TxSegment&)>& fn) {
+  std::uint32_t newly = 0;
+  for (auto& seg : segs_) {
+    if (seg.sacked) continue;
+    for (const auto& b : blocks) {
+      if (seg.seq >= b.start && seg.end_seq() <= b.end) {
+        seg.sacked = true;
+        highest_sacked_ = std::max(highest_sacked_, seg.end_seq());
+        fn(seg);
+        ++newly;
+        break;
+      }
+    }
+  }
+  return newly;
+}
+
+TxSegment* SendQueue::Find(std::uint64_t seq) {
+  for (auto& seg : segs_) {
+    if (seq >= seg.seq && seq < seg.end_seq()) return &seg;
+  }
+  return nullptr;
+}
+
+std::uint32_t SendQueue::CountSacked() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(segs_.begin(), segs_.end(), [](auto& s) { return s.sacked; }));
+}
+std::uint32_t SendQueue::CountLost() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(segs_.begin(), segs_.end(), [](auto& s) { return s.lost; }));
+}
+std::uint32_t SendQueue::CountRetrans() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(segs_.begin(), segs_.end(), [](auto& s) { return s.retrans; }));
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,1133 @@
+#include "tcp/tcp_connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "cc/cubic.hpp"
+
+namespace tdtcp {
+
+namespace {
+
+TdnManager::IndexedCcFactory ResolveFactory(const TcpConfig& config) {
+  if (!config.per_tdn_cc.empty()) {
+    // §3.5: a different CCA per TDN; ids past the list reuse the last entry.
+    auto factories = config.per_tdn_cc;
+    return [factories](TdnId id) {
+      const std::size_t idx =
+          std::min<std::size_t>(id, factories.size() - 1);
+      return factories[idx]();
+    };
+  }
+  if (config.cc_factory) {
+    auto factory = config.cc_factory;
+    return [factory](TdnId) { return factory(); };
+  }
+  return [](TdnId) { return MakeCubic(); };
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
+                             NodeId peer, TcpConfig config)
+    : sim_(sim), host_(host), flow_(flow), peer_(peer),
+      config_(std::move(config)),
+      tdns_(config_.tdtcp_enabled ? config_.num_tdns : 1,
+            ResolveFactory(config_), config_.rtt, config_.initial_cwnd) {
+  assert(host_ != nullptr);
+  if (config_.register_endpoint) host_->RegisterEndpoint(flow_, this);
+  if (config_.listen_tdn_notifications) {
+    host_->AddTdnListener(
+        this,
+        [this](TdnId tdn, bool imminent) { OnTdnChange(tdn, imminent); },
+        config_.peer_rack);
+  }
+}
+
+TcpConnection::~TcpConnection() {
+  CancelTimers();
+  if (config_.register_endpoint) host_->UnregisterEndpoint(flow_);
+  if (config_.listen_tdn_notifications) host_->RemoveTdnListener(this);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void TcpConnection::Listen() {
+  assert(state_ == State::kClosed);
+  state_ = State::kListen;
+}
+
+void TcpConnection::Connect() {
+  assert(state_ == State::kClosed);
+  state_ = State::kSynSent;
+  SendSyn(/*is_synack=*/false);
+  ArmRto();
+}
+
+void TcpConnection::SendSyn(bool is_synack) {
+  // The SYN occupies one virtual sequence byte. It is always accounted to
+  // TDN 0 (Appendix A.2): the TDTCP negotiation has not completed, so there
+  // is no notion of an active TDN yet.
+  TxSegment seg;
+  seg.seq = 0;
+  seg.len = 1;
+  seg.syn = true;
+  seg.tdn = 0;
+  seg.first_sent = seg.last_sent = sim_.now();
+  send_queue_.Append(seg);
+  tdns_.state(0).packets_out++;
+  snd_nxt_ = 1;
+
+  ResendSynPacket();
+  (void)is_synack;
+}
+
+void TcpConnection::ResendSynPacket() {
+  Packet p;
+  p.id = NextPacketId();
+  p.type = PacketType::kData;
+  p.flow = flow_;
+  p.dst = peer_;
+  p.syn = true;
+  p.seq = 0;
+  p.payload = 0;
+  p.size_bytes = config_.header_bytes;
+  p.td_capable = config_.tdtcp_enabled;
+  p.td_num_tdns = config_.num_tdns;
+  p.pinned_path = config_.pin_path;
+  p.subflow = config_.subflow_id;
+  p.is_mptcp = config_.mptcp;
+  p.sent_time = sim_.now();
+  if (state_ == State::kSynReceived) p.ack = 1;  // SYN/ACK
+  ++stats_.segments_sent;
+  if (tap_) tap_(TapDirection::kTx, p);
+  host_->Send(std::move(p));
+}
+
+void TcpConnection::OnSyn(const Packet& p) {
+  // Passive open. Negotiate TD_CAPABLE: both sides must agree on the number
+  // of TDNs so the IDs refer to the same network conditions (§4.2).
+  tdtcp_active_ = config_.tdtcp_enabled && p.td_capable &&
+                  p.td_num_tdns == config_.num_tdns;
+  state_ = State::kSynReceived;
+  SendSyn(/*is_synack=*/true);
+  ArmRto();
+}
+
+void TcpConnection::OnSynAck(const Packet& p) {
+  tdtcp_active_ = config_.tdtcp_enabled && p.td_capable &&
+                  p.td_num_tdns == config_.num_tdns;
+  // The SYN/ACK acknowledges our SYN. The SYN may have been marked lost by
+  // an RTO while its path (e.g. a pinned subflow's circuit) was unavailable,
+  // so account every flag it carries.
+  send_queue_.AckThrough(1, [this](const TxSegment& seg) {
+    TdnState& st = tdns_.state(seg.tdn);
+    st.packets_out--;
+    if (seg.sacked) st.sacked_out--;
+    if (seg.lost) st.lost_out--;
+    if (seg.retrans) st.retrans_out--;
+  });
+  snd_una_ = 1;
+  // A delayed handshake (SYN waited for its path) should not poison the
+  // congestion state the connection starts with.
+  for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
+    TdnState& st = tdns_.state(static_cast<TdnId>(i));
+    if (st.ca_state == CaState::kLoss && st.packets_out == 0) {
+      st.ca_state = CaState::kOpen;
+      st.cwnd = std::max(st.cwnd, config_.initial_cwnd);
+      st.undo_marker = 0;
+    }
+  }
+  rto_backoff_ = 0;
+  CompleteHandshake();
+
+  // Final handshake ACK.
+  Packet a;
+  a.id = NextPacketId();
+  a.type = PacketType::kAck;
+  a.flow = flow_;
+  a.dst = peer_;
+  a.ack = 1;
+  a.size_bytes = config_.ack_bytes;
+  a.pinned_path = config_.pin_path;
+  a.subflow = config_.subflow_id;
+  a.is_mptcp = config_.mptcp;
+  a.sent_time = sim_.now();
+  if (tap_) tap_(TapDirection::kTx, a);
+  host_->Send(std::move(a));
+}
+
+void TcpConnection::CompleteHandshake() {
+  state_ = State::kEstablished;
+  CancelTimers();
+  if (on_established_) on_established_();
+  MaybeSend();
+}
+
+void TcpConnection::DowngradeToRegularTcp() {
+  // §4.2: only the local side is affected; the peer may keep sending
+  // TDTCP-enabled segments but will get regular ACKs back. We freeze on the
+  // currently active state set and stop reacting to TDN notifications.
+  tdtcp_active_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Application data
+// ---------------------------------------------------------------------------
+
+void TcpConnection::SetUnlimitedData(bool unlimited) {
+  unlimited_data_ = unlimited;
+  MaybeSend();
+}
+
+void TcpConnection::AddAppData(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  pending_.push_back(PendingChunk{bytes, false, 0});
+  pending_bytes_ += bytes;
+  MaybeSend();
+}
+
+void TcpConnection::AddMappedData(std::uint32_t len, std::uint64_t dss_seq) {
+  if (len == 0) return;
+  pending_.push_back(PendingChunk{len, true, dss_seq});
+  pending_bytes_ += len;
+  MaybeSend();
+}
+
+std::uint64_t TcpConnection::unsent_buffered_bytes() const {
+  return pending_bytes_;
+}
+
+std::uint64_t TcpConnection::bytes_acked() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
+    total += tdns_.state(static_cast<TdnId>(i)).bytes_acked;
+  }
+  return total;
+}
+
+std::vector<TcpConnection::DssRange> TcpConnection::UnackedDssRanges() const {
+  std::vector<DssRange> out;
+  for (const auto& seg : send_queue_.segments()) {
+    if (seg.has_dss && !seg.syn) out.push_back({seg.dss_seq, seg.len});
+  }
+  return out;
+}
+
+std::vector<TcpConnection::DssRange> TcpConnection::PendingDssRanges() const {
+  std::vector<DssRange> out;
+  for (const auto& chunk : pending_) {
+    if (chunk.has_dss) {
+      out.push_back({chunk.dss_seq, static_cast<std::uint32_t>(chunk.bytes)});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TDN control
+// ---------------------------------------------------------------------------
+
+void TcpConnection::OnTdnChange(TdnId tdn, bool imminent) {
+  if (imminent) {
+    // reTCPdyn advance notice: the ToR enlarged its VOQ; pre-ramp.
+    TdnState& st = ActiveState();
+    st.cc->OnCircuitTransition(st, /*circuit_up=*/true, /*imminent=*/true);
+    MaybeSend();
+    return;
+  }
+  if (!tdtcp_active_) return;
+  if (!tdns_.SwitchTo(tdn)) return;
+  ++stats_.tdn_switches;
+  // First transmission on the new TDN will advance the TDN change pointer.
+  tdn_pointer_pending_ = true;
+  // Timers depend on the active TDN's RTT model.
+  ArmRto();
+  ArmTlp();
+  // §5.2 "initial burst": the resumed TDN wakes with a (possibly) wide-open
+  // cwnd and near-zero in-flight, so transmission resumes immediately.
+  MaybeSend();
+}
+
+// ---------------------------------------------------------------------------
+// Packet entry point
+// ---------------------------------------------------------------------------
+
+void TcpConnection::HandlePacket(Packet&& p) {
+  if (tap_) tap_(TapDirection::kRx, p);
+  if (p.type == PacketType::kTdnNotify) {
+    OnTdnChange(p.notify_tdn, p.circuit_imminent);
+    return;
+  }
+  if (p.type == PacketType::kData) {
+    if (p.syn) {
+      if (state_ == State::kListen) { OnSyn(p); return; }
+      if (state_ == State::kSynSent) { OnSynAck(p); return; }
+      return;  // duplicate SYN: peer's RTO will resend ours if lost
+    }
+    if (p.payload > 0) {
+      OnDataSegment(std::move(p));
+      return;
+    }
+    return;
+  }
+  // Pure ACK.
+  if (state_ == State::kSynReceived) CompleteHandshake();
+  if (state_ == State::kEstablished || state_ == State::kSynReceived) {
+    OnAckPacket(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver path
+// ---------------------------------------------------------------------------
+
+void TcpConnection::OnDataSegment(Packet&& p) {
+  if (state_ == State::kSynReceived) {
+    // The handshake ACK can be implicit in the first data segment.
+    CompleteHandshake();
+  }
+  if (state_ != State::kEstablished) return;
+
+  auto result = rcv_buffer_.OnData(p.seq, p.payload, p.has_dss, p.dss_seq,
+                                   sim_.now());
+  if (result.duplicate) ++stats_.duplicate_segments;
+  for (const auto& d : result.delivered) {
+    stats_.bytes_received += d.len;
+    if (deliver_) deliver_(DeliverInfo{d.seq, d.len, d.has_dss, d.dss_seq});
+  }
+  SendAck(result, p);
+}
+
+void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
+                            const Packet& data) {
+  Packet a;
+  a.id = NextPacketId();
+  a.type = PacketType::kAck;
+  a.flow = flow_;
+  a.dst = peer_;
+  a.ack = rcv_buffer_.rcv_nxt();
+  a.size_bytes = config_.ack_bytes;
+  const std::uint64_t used = rcv_buffer_.ooo_bytes();
+  const std::uint64_t wnd =
+      config_.rcv_buf_bytes > used ? config_.rcv_buf_bytes - used : 0;
+  a.rcv_window = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(wnd, 0xffffffffu));
+  a.has_rwnd = true;
+  if (config_.sack_enabled) {
+    auto blocks = rcv_buffer_.BuildSackBlocks(result);
+    a.num_sack = static_cast<std::uint8_t>(
+        std::min<std::size_t>(blocks.size(), kMaxSackBlocks));
+    for (std::uint8_t i = 0; i < a.num_sack; ++i) a.sack[i] = blocks[i];
+  }
+  // DCTCP-style precise per-packet ECN echo.
+  a.ece = (data.ecn == Ecn::kCe);
+  // reTCP: echo the switch's circuit mark back to the sender.
+  a.circuit_echo = data.circuit_mark;
+  // TD_DATA_ACK: the TDN this ACK is being sent on (A bit).
+  if (tdtcp_active_) a.ack_tdn = ActiveTdn();
+  a.pinned_path = config_.pin_path;
+  a.subflow = config_.subflow_id;
+  a.is_mptcp = config_.mptcp;
+  if (config_.mptcp && dss_ack_provider_) {
+    a.has_dss = true;
+    a.dss_ack = dss_ack_provider_();
+    // The meta-level window rides the DSS option; it is enforced by the
+    // peer's meta scheduler (not per subflow, so hole-filling reinjections
+    // are never blocked by the very stall they are repairing).
+    if (rwnd_provider_) a.dss_rwnd = rwnd_provider_();
+  }
+  a.sent_time = sim_.now();
+  if (tap_) tap_(TapDirection::kTx, a);
+  host_->Send(std::move(a));
+}
+
+// ---------------------------------------------------------------------------
+// Sender path: ACK processing
+// ---------------------------------------------------------------------------
+
+void TcpConnection::OnAckPacket(const Packet& p) {
+  ++stats_.acks_received;
+  if (on_dss_ack_ && p.has_dss) on_dss_ack_(p.dss_ack, p.dss_rwnd);
+  if (p.has_rwnd) peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
+
+  if (p.ack > snd_nxt_) return;  // acks data never sent
+  // §4.3 "all TDNs": an ACK may acknowledge data sent on any TDN, so the
+  // stale-ACK filter must consult the sum of per-TDN packets_out. A stale
+  // ACK may still carry a window update (e.g. a zero-window reopening), so
+  // give the transmit path a chance before discarding it.
+  if (tdns_.TotalPacketsOut() == 0 && p.ack <= snd_una_) {
+    MaybeSend();
+    return;
+  }
+
+  const TdnId trigger_tdn =
+      (tdtcp_active_ && p.ack_tdn != kNoTdn) ? p.ack_tdn : ActiveTdn();
+  tdns_.EnsureTdn(trigger_tdn);
+
+  NoteCircuitEcho(p.circuit_echo);
+
+  // Per-ACK scratch accounting (per TDN).
+  acked_pkts_scratch_.assign(tdns_.num_tdns(), 0);
+  acked_bytes_scratch_.assign(tdns_.num_tdns(), 0);
+  sacked_pkts_scratch_.assign(tdns_.num_tdns(), 0);
+  rtt_scratch_.assign(tdns_.num_tdns(), SimTime::Zero());
+  ece_target_tdn_ = trigger_tdn;
+
+  std::uint32_t newly_sacked = 0;
+  if (config_.sack_enabled && p.num_sack > 0) {
+    newly_sacked = ProcessSackBlocks(p, trigger_tdn);
+  }
+
+  const std::uint32_t total_acked_before = tdns_.TotalPacketsOut();
+  std::uint32_t newly_acked_total = 0;
+  if (p.ack > snd_una_) {
+    ProcessCumulativeAck(p, trigger_tdn);
+    newly_acked_total = total_acked_before - tdns_.TotalPacketsOut();
+    dupack_count_ = 0;
+    rto_backoff_ = 0;
+    tlp_in_flight_ = false;
+  } else if (p.ack == snd_una_ && p.payload == 0 && newly_sacked == 0) {
+    ++dupack_count_;
+    if (!config_.sack_enabled) {
+      // Reno-SACK emulation (Linux tcp_add_reno_sack): each dupACK means one
+      // segment left the network, so account a virtual SACK for pipe/PRR.
+      TdnState& st = ActiveState();
+      if (st.sacked_out + st.lost_out < st.packets_out) {
+        st.sacked_out++;
+        sacked_pkts_scratch_[tdns_.active_id()]++;
+      }
+    }
+  }
+  if (!config_.sack_enabled && newly_acked_total > 0) {
+    // Linux tcp_remove_reno_sacks: the cumulative ACK consumes virtual SACKs.
+    TdnState& st = ActiveState();
+    st.sacked_out -= std::min(st.sacked_out, newly_acked_total);
+    if (snd_una_ >= snd_nxt_) st.sacked_out = 0;
+  }
+
+  DetectLosses(trigger_tdn, newly_sacked);
+  AdvanceStateMachines(p);
+
+  ArmRto();
+  ArmTlp();
+  MaybeSend();
+  if (on_send_ready_) on_send_ready_();
+}
+
+std::uint32_t TcpConnection::ProcessSackBlocks(const Packet& p, TdnId trigger_tdn) {
+  (void)trigger_tdn;
+  // Split DSACK (RFC 2883: first block below the cumulative ACK, or
+  // contained in the second block) from plain SACK blocks.
+  std::vector<SackBlock> blocks;
+  for (std::uint8_t i = 0; i < p.num_sack; ++i) blocks.push_back(p.sack[i]);
+
+  if (!blocks.empty()) {
+    const SackBlock& b0 = blocks.front();
+    const bool below_cum = b0.end <= p.ack;
+    const bool inside_second =
+        blocks.size() >= 2 && b0.start >= blocks[1].start && b0.end <= blocks[1].end;
+    if (below_cum || inside_second) {
+      ++stats_.dsacks_received;
+      ProcessDsack(b0);
+      blocks.erase(blocks.begin());
+    }
+  }
+
+  return send_queue_.ApplySack(blocks, [this](TxSegment& seg) {
+    TdnState& st = tdns_.state(seg.tdn);
+    st.sacked_out++;
+    if (seg.tdn < sacked_pkts_scratch_.size()) sacked_pkts_scratch_[seg.tdn]++;
+    if (seg.lost) {
+      // The receiver has it after all; it was reordered, not lost.
+      seg.lost = false;
+      st.lost_out--;
+    }
+    if (seg.last_sent > rack_mstamp_) {
+      rack_mstamp_ = seg.last_sent;
+      rack_mstamp_tdn_ = seg.tdn;
+    }
+  });
+}
+
+void TcpConnection::ProcessDsack(const SackBlock& block) {
+  // A DSACK proves a retransmission was spurious: the receiver already had
+  // the data. Credit the undo bookkeeping of the TDN whose recovery episode
+  // produced the retransmission.
+  TxSegment* seg = send_queue_.Find(block.start);
+  if (seg != nullptr && seg->ever_retrans) {
+    TdnState& st = tdns_.state(seg->undo_tdn);
+    if (st.undo_retrans > 0) st.undo_retrans--;
+    return;
+  }
+  // Segment already cumulatively acked: credit the first TDN with an armed
+  // undo marker.
+  for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
+    TdnState& st = tdns_.state(static_cast<TdnId>(i));
+    if (st.undo_marker != 0 && st.undo_retrans > 0) {
+      st.undo_retrans--;
+      return;
+    }
+  }
+}
+
+void TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
+  send_queue_.AckThrough(p.ack, [this, &p, trigger_tdn](const TxSegment& seg) {
+    // §4.3 "specific TDN": scan the retransmission queue and update the
+    // tracking variables of the TDN each segment belongs to.
+    TdnState& st = tdns_.state(seg.tdn);
+    st.packets_out--;
+    if (seg.sacked) st.sacked_out--;
+    if (seg.lost) st.lost_out--;
+    if (seg.retrans) st.retrans_out--;
+    if (!seg.syn) {
+      st.bytes_acked += seg.len;
+      acked_pkts_scratch_[seg.tdn]++;
+      acked_bytes_scratch_[seg.tdn] += seg.len;
+      ece_target_tdn_ = seg.tdn;
+    }
+    if (seg.last_sent > rack_mstamp_) {
+      rack_mstamp_ = seg.last_sent;
+      rack_mstamp_tdn_ = seg.tdn;
+    }
+    // RTT sampling: Karn (never a retransmitted segment), then §4.4's TDN
+    // matching — only samples whose data and ACK rode the same TDN feed
+    // that TDN's estimator; "type-3" mixed samples are dropped.
+    if (seg.ever_retrans) return;
+    const SimTime rtt = sim_.now() - seg.last_sent;
+    if (tdtcp_active_ && config_.per_tdn_rtt) {
+      if (p.ack_tdn != kNoTdn && p.ack_tdn == seg.tdn) {
+        st.rtt.AddSample(rtt);
+        rtt_scratch_[seg.tdn] = rtt;
+      } else {
+        ++stats_.rtt_samples_dropped;
+      }
+    } else {
+      st.rtt.AddSample(rtt);
+      rtt_scratch_[seg.tdn] = rtt;
+    }
+    (void)trigger_tdn;
+  });
+  snd_una_ = p.ack;
+}
+
+void TcpConnection::DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked) {
+  if (!config_.sack_enabled) {
+    // Classic triple-dupACK: mark the head segment lost.
+    if (dupack_count_ >= config_.dupack_threshold && !send_queue_.Empty()) {
+      TxSegment& head = send_queue_.front();
+      if (!head.lost && !head.sacked) MarkSegmentLost(head);
+    }
+    return;
+  }
+
+  const std::uint64_t high_sacked = send_queue_.highest_sacked();
+  if (high_sacked <= snd_una_) return;
+
+  auto& segs = send_queue_.segments();
+  std::uint32_t holes = 0;
+  std::uint32_t marked = 0;
+
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    TxSegment& seg = segs[i];
+    if (seg.end_seq() > high_sacked) break;
+    if (seg.sacked) continue;
+    // A retransmission is in flight: only RACK-on-the-retransmission may
+    // re-declare it (Linux keeps SACKED_RETRANS segments off the mark list
+    // until the rtx itself times out or proves lost).
+    if (seg.retrans) {
+      bool rtx_lost = false;
+      if (config_.rack_enabled && rack_mstamp_ > SimTime::Zero()) {
+        const TdnState& st = tdns_.state(seg.tdn);
+        const SimTime reo_wnd = st.rtt.has_sample() ? st.rtt.min_rtt() / 4
+                                                    : SimTime::Micros(25);
+        rtx_lost = rack_mstamp_ > seg.last_sent + reo_wnd;
+      }
+      if (rtx_lost) {
+        TdnState& st = tdns_.state(seg.tdn);
+        seg.retrans = false;
+        st.retrans_out--;
+        if (!seg.lost) {
+          MarkSegmentLost(seg);
+          ++marked;
+        }
+      }
+      continue;
+    }
+    if (seg.lost) continue;  // awaiting retransmission
+    ++holes;
+
+    // Classic dupACK-count analogue: enough SACKed segments above this one.
+    std::uint32_t sacked_above = 0;
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      if (segs[j].sacked) ++sacked_above;
+    }
+    const bool dup_cond = sacked_above >= config_.dupack_threshold;
+
+    // RACK: delivered segments transmitted sufficiently later imply loss.
+    bool rack_cond = false;
+    if (config_.rack_enabled && rack_mstamp_ > SimTime::Zero()) {
+      const TdnState& st = tdns_.state(seg.tdn);
+      const SimTime reo_wnd = st.rtt.has_sample()
+                                  ? st.rtt.min_rtt() / 4
+                                  : SimTime::Micros(25);
+      rack_cond = rack_mstamp_ > seg.last_sent + reo_wnd;
+    }
+    if (!dup_cond && !rack_cond) continue;
+
+    // §3.4 relaxed detection: a hole whose TDN differs from the TDN of the
+    // triggering ACK is suspected cross-TDN reordering — its ACK is merely
+    // delayed on the slower path. Exempt it unless it has been silent for a
+    // full pessimistic cross-TDN RTT (then RACK-TLP-style recovery kicks in).
+    if (tdtcp_active_ && config_.relaxed_reordering &&
+        SuspectCrossTdnReordering(seg, trigger_tdn, tdn_change_)) {
+      const RttEstimator& slowest = tdns_.SlowestRtt(seg.tdn);
+      const SimTime patience = slowest.has_sample()
+                                   ? slowest.srtt() + slowest.srtt() / 2
+                                   : config_.rtt.initial_rto;
+      if (sim_.now() - seg.last_sent <= patience) {
+        ++stats_.cross_tdn_exemptions;
+        continue;
+      }
+    }
+    MarkSegmentLost(seg);
+    ++marked;
+  }
+
+  // A reordering event is a *new* gap opening between the cumulative ACK
+  // and the highest SACK (Fig. 10a); long-lived exempted holes count once.
+  if (holes > prev_holes_ && newly_sacked > 0) {
+    ++stats_.reorder_events;
+    stats_.reorder_hole_packets += holes - prev_holes_;
+  }
+  prev_holes_ = holes;
+  stats_.reorder_marked_lost += marked;
+}
+
+void TcpConnection::MarkSegmentLost(TxSegment& seg) {
+  assert(!seg.lost && !seg.sacked);
+  seg.lost = true;
+  TdnState& st = tdns_.state(seg.tdn);
+  st.lost_out++;
+  if (seg.retrans) {
+    // The retransmission itself is presumed lost too.
+    seg.retrans = false;
+    st.retrans_out--;
+  }
+}
+
+void TcpConnection::AdvanceStateMachines(const Packet& p) {
+  for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
+    const TdnId id = static_cast<TdnId>(i);
+    TdnState& st = tdns_.state(id);
+    const std::uint32_t acked_here =
+        i < acked_pkts_scratch_.size() ? acked_pkts_scratch_[i] : 0;
+
+    // CC per-ACK hook (DCTCP fraction tracking etc.) for TDNs with progress.
+    if (acked_here > 0) {
+      AckContext ctx;
+      ctx.event.newly_acked_packets = acked_here;
+      ctx.event.newly_acked_bytes = acked_bytes_scratch_[i];
+      ctx.event.ece = p.ece && id == ece_target_tdn_;
+      ctx.event.circuit_echo = p.circuit_echo;
+      ctx.event.rtt_sample = rtt_scratch_[i];
+      ctx.event.cwnd_limited = st.cwnd_limited;
+      ctx.snd_una = snd_una_;
+      ctx.snd_nxt = snd_nxt_;
+      ctx.now = sim_.now();
+      st.cc->OnAck(st, ctx);
+    }
+
+    // ECN-Echo: reduce once per window via the CWR state.
+    if (p.ece && id == ece_target_tdn_ &&
+        (st.ca_state == CaState::kOpen || st.ca_state == CaState::kDisorder)) {
+      EnterCwr(st);
+    }
+
+    switch (st.ca_state) {
+      case CaState::kOpen:
+      case CaState::kDisorder:
+        if (st.lost_out > 0) {
+          EnterRecovery(st);
+          // The entering ACK participates in the rate reduction (Linux runs
+          // tcp_cwnd_reduction on the same ACK that enters recovery).
+          ProportionalRateReduction(st, acked_here,
+                                    i < sacked_pkts_scratch_.size()
+                                        ? sacked_pkts_scratch_[i] : 0);
+        } else if (st.sacked_out > 0) {
+          st.ca_state = CaState::kDisorder;
+        } else {
+          st.ca_state = CaState::kOpen;
+        }
+        break;
+      case CaState::kCwr:
+        ProportionalRateReduction(st, acked_here,
+                                  i < sacked_pkts_scratch_.size()
+                                      ? sacked_pkts_scratch_[i] : 0);
+        if (snd_una_ >= st.high_seq) {
+          st.ca_state = CaState::kOpen;
+          st.cwnd = std::max(2u, st.ssthresh);  // tcp_end_cwnd_reduction
+          st.cc->OnCwndEvent(st, CwndEvent::kCompleteCwr);
+        }
+        break;
+      case CaState::kRecovery:
+      case CaState::kLoss:
+        MaybeUndo(st);
+        if (st.ca_state == CaState::kRecovery) {
+          ProportionalRateReduction(st, acked_here,
+                                    i < sacked_pkts_scratch_.size()
+                                        ? sacked_pkts_scratch_[i] : 0);
+        }
+        if ((st.ca_state == CaState::kRecovery || st.ca_state == CaState::kLoss) &&
+            snd_una_ >= st.high_seq) {
+          if (st.ca_state == CaState::kRecovery) {
+            st.cwnd = std::max(2u, st.ssthresh);  // tcp_end_cwnd_reduction
+          }
+          st.ca_state = st.sacked_out > 0 ? CaState::kDisorder : CaState::kOpen;
+          st.undo_marker = 0;
+        }
+        break;
+    }
+
+    // Window growth on ACKed progress, outside Recovery/CWR (slow-start
+    // regrowth during Loss recovery is standard).
+    if (acked_here > 0 &&
+        (st.ca_state == CaState::kOpen || st.ca_state == CaState::kDisorder ||
+         st.ca_state == CaState::kLoss)) {
+      st.cc->CongAvoid(st, acked_here, sim_.now());
+    }
+  }
+}
+
+void TcpConnection::ProportionalRateReduction(TdnState& st,
+                                              std::uint32_t newly_acked,
+                                              std::uint32_t newly_sacked) {
+  // RFC 6937 / Linux tcp_cwnd_reduction. While the pipe is above ssthresh,
+  // release sending credit in proportion to delivery (rate halving); once at
+  // or below, hold the pipe at ssthresh, always allowing the fast
+  // retransmit itself through.
+  const std::uint32_t delivered = newly_acked + newly_sacked;
+  if (delivered == 0 && st.lost_out == 0) return;
+  st.prr_delivered += delivered;
+  const std::uint32_t pipe = st.packets_in_flight();
+  std::int64_t sndcnt;
+  if (pipe > st.ssthresh) {
+    sndcnt = (static_cast<std::int64_t>(st.prr_delivered) * st.ssthresh +
+              st.prior_cwnd - 1) / std::max<std::uint32_t>(1, st.prior_cwnd) -
+             st.prr_out;
+  } else {
+    const std::int64_t delta = static_cast<std::int64_t>(st.ssthresh) - pipe;
+    sndcnt = std::min<std::int64_t>(
+        delta, std::max<std::int64_t>(
+                   static_cast<std::int64_t>(st.prr_delivered) - st.prr_out,
+                   newly_acked));
+  }
+  const bool fast_rexmit = st.lost_out > 0;
+  sndcnt = std::max<std::int64_t>(sndcnt, fast_rexmit ? 1 : 0);
+  st.cwnd = pipe + static_cast<std::uint32_t>(std::max<std::int64_t>(0, sndcnt));
+}
+
+void TcpConnection::MaybeUndo(TdnState& st) {
+  if (st.undo_marker == 0) return;
+  const bool all_rtx_disproved = st.any_rtx_since_entry && st.undo_retrans == 0;
+  const bool acked_without_rtx =
+      !st.any_rtx_since_entry && snd_una_ >= st.high_seq;
+  if (!all_rtx_disproved && !acked_without_rtx) return;
+
+  // Spurious recovery: restore the window (Linux tcp_undo_cwnd_reduction).
+  st.cwnd = st.cc->UndoCwnd(st);
+  st.ssthresh = std::max(st.ssthresh, st.prior_ssthresh);
+  st.ca_state = snd_una_ >= st.high_seq ? CaState::kOpen : CaState::kDisorder;
+  st.undo_marker = 0;
+  st.undo_events++;
+  stats_.undo_events++;
+  st.cc->OnCwndEvent(st, CwndEvent::kLossUndone);
+}
+
+// ---------------------------------------------------------------------------
+// Congestion transitions
+// ---------------------------------------------------------------------------
+
+void TcpConnection::EnterRecovery(TdnState& st) {
+  st.prior_cwnd = st.cwnd;
+  st.prior_ssthresh = st.ssthresh;
+  st.ssthresh = std::max(2u, st.cc->SsThresh(st));
+  st.ca_state = CaState::kRecovery;
+  st.high_seq = snd_nxt_;
+  st.undo_marker = snd_una_;
+  st.undo_retrans = 0;
+  st.any_rtx_since_entry = false;
+  st.rtx_this_episode = 0;
+  // PRR: the window converges to ssthresh proportionally to delivery.
+  st.prr_delivered = 0;
+  st.prr_out = 0;
+  st.fast_recoveries++;
+  stats_.fast_recoveries++;
+}
+
+void TcpConnection::EnterCwr(TdnState& st) {
+  st.prior_cwnd = st.cwnd;
+  st.prior_ssthresh = st.ssthresh;
+  st.ssthresh = std::max(2u, st.cc->SsThresh(st));
+  st.ca_state = CaState::kCwr;
+  st.high_seq = snd_nxt_;
+  st.undo_marker = 0;  // ECN reductions are never undone
+  st.prr_delivered = 0;
+  st.prr_out = 0;
+}
+
+void TcpConnection::EnterLoss(TdnState& st) {
+  st.prior_cwnd = st.cwnd;
+  st.prior_ssthresh = st.ssthresh;
+  st.ssthresh = std::max(2u, st.cc->SsThresh(st));
+  st.cwnd = 1;
+  st.ca_state = CaState::kLoss;
+  st.high_seq = snd_nxt_;
+  st.undo_marker = snd_una_;
+  st.undo_retrans = 0;
+  st.any_rtx_since_entry = false;
+  st.rtx_this_episode = 0;
+  st.timeouts++;
+  st.cc->OnRetransmitTimeout(st);
+  // Everything outstanding on this TDN is presumed lost, including any
+  // retransmissions in flight (Linux tcp_enter_loss clears SACKED_RETRANS).
+  for (auto& seg : send_queue_.segments()) {
+    if (seg.tdn != st.id || seg.sacked) continue;
+    if (seg.retrans) {
+      seg.retrans = false;
+      st.retrans_out--;
+    }
+    if (!seg.lost) MarkSegmentLost(seg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+bool TcpConnection::PacingDefers() {
+  if (!config_.pacing_enabled) return false;
+  const RttEstimator& rtt = tdns_.active().rtt;
+  if (!rtt.has_sample()) return false;  // no rate estimate yet
+  if (next_send_time_ <= sim_.now()) return false;
+  if (pace_timer_ == kInvalidEventId) {
+    pace_timer_ = sim_.ScheduleAt(next_send_time_, [this] {
+      pace_timer_ = kInvalidEventId;
+      MaybeSend();
+    });
+  }
+  return true;
+}
+
+void TcpConnection::NotePacedTransmission(std::uint32_t bytes) {
+  if (!config_.pacing_enabled) return;
+  const TdnState& st = tdns_.active();
+  if (!st.rtt.has_sample()) return;
+  // rate = gain * cwnd * mss / srtt; the gap for `bytes` is bytes/rate.
+  const double rate_Bps = config_.pacing_gain *
+                          static_cast<double>(st.cwnd) * config_.mss /
+                          st.rtt.srtt().seconds();
+  if (rate_Bps <= 0) return;
+  const SimTime gap = SimTime::SecondsF(bytes / rate_Bps);
+  const SimTime base = std::max(next_send_time_, sim_.now());
+  next_send_time_ = base + gap;
+}
+
+bool TcpConnection::IsCwndLimited() const {
+  const TdnState& st = tdns_.active();
+  return st.packets_in_flight() >= st.cwnd;
+}
+
+void TcpConnection::MaybeSend() {
+  if (state_ != State::kEstablished) return;
+
+  // §4.3 "any TDN": retransmissions go out first if any TDN is recovering,
+  // regardless of which TDN originally carried the segment.
+  while (tdns_.AnyRetransmitPending() && !IsCwndLimited()) {
+    if (PacingDefers()) return;
+    if (!RetransmitOneLost()) break;
+  }
+
+  while (CanSendNewSegment()) {
+    if (PacingDefers()) return;
+    SendNewSegment();
+  }
+
+  // Linux tcp_is_cwnd_limited bookkeeping: growth is only justified when
+  // the window, not the application, was the limit.
+  TdnState& st = ActiveState();
+  const bool have_data = unlimited_data_ || pending_bytes_ > 0;
+  st.cwnd_limited = have_data && IsCwndLimited();
+}
+
+bool TcpConnection::CanSendNewSegment() const {
+  if (state_ != State::kEstablished) return false;
+  if (!unlimited_data_ && pending_bytes_ == 0) return false;
+  if (IsCwndLimited()) return false;
+  const std::uint64_t wnd = std::min<std::uint64_t>(peer_rwnd_, config_.snd_buf_bytes);
+  std::uint32_t next_len = config_.mss;
+  if (!unlimited_data_ && !pending_.empty()) {
+    next_len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(next_len, pending_.front().bytes));
+  }
+  return outstanding_bytes() + next_len <= wnd;
+}
+
+void TcpConnection::SendNewSegment() {
+  std::uint32_t len = config_.mss;
+  bool has_dss = false;
+  std::uint64_t dss = 0;
+  if (!unlimited_data_ || !pending_.empty()) {
+    PendingChunk& chunk = pending_.front();
+    len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(len, chunk.bytes));
+    has_dss = chunk.has_dss;
+    dss = chunk.dss_seq;
+    chunk.bytes -= len;
+    if (chunk.has_dss) chunk.dss_seq += len;
+    pending_bytes_ -= len;
+    if (chunk.bytes == 0) pending_.pop_front();
+  }
+
+  TxSegment seg;
+  seg.seq = snd_nxt_;
+  seg.len = len;
+  seg.tdn = ActiveTdn();
+  seg.first_sent = seg.last_sent = sim_.now();
+  seg.has_dss = has_dss;
+  seg.dss_seq = dss;
+
+  if (tdn_pointer_pending_) {
+    tdn_change_.Advance(seg.seq, seg.tdn);
+    tdn_pointer_pending_ = false;
+  }
+
+  send_queue_.Append(seg);
+  TdnState& st = ActiveState();
+  st.packets_out++;
+  st.segments_sent++;
+  if (st.ca_state == CaState::kRecovery || st.ca_state == CaState::kCwr) {
+    st.prr_out++;
+  }
+  snd_nxt_ += len;
+
+  TransmitSegment(send_queue_.segments().back(), /*is_retransmission=*/false);
+  if (rto_timer_ == kInvalidEventId) ArmRto();
+}
+
+bool TcpConnection::RetransmitOneLost() {
+  for (auto& seg : send_queue_.segments()) {
+    if (!seg.lost || seg.retrans) continue;
+    TdnState& origin = tdns_.state(seg.tdn);
+    TdnState& active = ActiveState();
+
+    // Re-tag: the retransmission rides the currently active TDN, so its
+    // accounting moves entirely to that TDN (keeping per-TDN sums exact).
+    // The segment stays marked lost (Linux SACKED_RETRANS): the original is
+    // still presumed gone; only the retransmission is in the pipe.
+    origin.packets_out--;
+    origin.lost_out--;
+    origin.undo_retrans++;
+    origin.any_rtx_since_entry = true;
+    origin.rtx_this_episode++;
+    seg.undo_tdn = seg.tdn;
+    seg.tdn = ActiveTdn();
+    active.packets_out++;
+    active.lost_out++;
+    active.retrans_out++;
+    if (active.ca_state == CaState::kRecovery ||
+        active.ca_state == CaState::kCwr) {
+      active.prr_out++;
+    }
+    seg.retrans = true;
+    seg.ever_retrans = true;
+    seg.last_sent = sim_.now();
+    seg.transmissions++;
+
+    ++stats_.retransmissions;
+    TransmitSegment(seg, /*is_retransmission=*/true);
+    return true;
+  }
+  return false;
+}
+
+void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
+  Packet p;
+  p.id = NextPacketId();
+  p.type = PacketType::kData;
+  p.flow = flow_;
+  p.dst = peer_;
+  p.seq = seg.seq;
+  p.payload = seg.syn ? 0 : seg.len;
+  p.syn = seg.syn;
+  p.size_bytes = p.payload + config_.header_bytes;
+  if (config_.ecn_enabled || ActiveState().cc->WantsEcn()) p.ecn = Ecn::kEct0;
+  if (tdtcp_active_) p.data_tdn = seg.tdn;  // TD_DATA_ACK, D bit
+  p.pinned_path = config_.pin_path;
+  p.subflow = config_.subflow_id;
+  p.is_mptcp = config_.mptcp;
+  if (seg.has_dss) {
+    p.has_dss = true;
+    p.dss_seq = seg.dss_seq;
+  }
+  p.sent_time = sim_.now();
+  if (!is_retransmission) ++stats_.segments_sent;
+  NotePacedTransmission(p.size_bytes);
+  if (tap_) tap_(TapDirection::kTx, p);
+  host_->Send(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+SimTime TcpConnection::RtoForSegment(const TxSegment& seg) const {
+  // §4.4: TDTCP cannot predict which TDN the ACK will return on, so it
+  // pessimistically assumes the slowest.
+  return tdns_.RtoFor(seg.tdn, tdtcp_active_ && config_.synthesized_rto);
+}
+
+void TcpConnection::ArmRto() {
+  if (rto_timer_ != kInvalidEventId) {
+    sim_.Cancel(rto_timer_);
+    rto_timer_ = kInvalidEventId;
+  }
+  if (send_queue_.Empty()) return;
+  const TxSegment& head = send_queue_.front();
+  SimTime deadline =
+      head.last_sent + RtoForSegment(head) * (std::int64_t{1} << rto_backoff_);
+  if (deadline <= sim_.now()) deadline = sim_.now() + SimTime::Nanos(1);
+  rto_timer_ = sim_.ScheduleAt(deadline, [this] {
+    rto_timer_ = kInvalidEventId;
+    OnRtoFire();
+  });
+}
+
+void TcpConnection::OnRtoFire() {
+  if (send_queue_.Empty()) return;
+  TxSegment& head = send_queue_.front();
+  const SimTime deadline =
+      head.last_sent + RtoForSegment(head) * (std::int64_t{1} << rto_backoff_);
+  if (deadline > sim_.now()) {
+    // Head was (re)transmitted since the timer was set; re-arm.
+    ArmRto();
+    return;
+  }
+  ++stats_.timeouts;
+
+  // Handshake retransmission: resend the SYN / SYN-ACK itself.
+  if (head.syn && state_ != State::kEstablished) {
+    head.last_sent = sim_.now();
+    head.transmissions++;
+    head.ever_retrans = true;
+    rto_backoff_ = std::min(rto_backoff_ + 1, 8u);
+    ResendSynPacket();
+    ArmRto();
+    return;
+  }
+
+  TdnState& st = tdns_.state(head.tdn);
+  if (st.ca_state != CaState::kLoss) {
+    EnterLoss(st);
+  } else {
+    // Repeated timeout: the in-flight retransmissions are presumed lost
+    // too. A segment whose original was SACKed meanwhile needs no further
+    // retransmission — just retire its rtx.
+    for (auto& seg : send_queue_.segments()) {
+      if (seg.tdn != st.id || !seg.retrans) continue;
+      seg.retrans = false;
+      st.retrans_out--;
+      if (!seg.lost && !seg.sacked) {
+        seg.lost = true;
+        st.lost_out++;
+      }
+    }
+  }
+  rto_backoff_ = std::min(rto_backoff_ + 1, 8u);
+  MaybeSend();
+  ArmRto();
+}
+
+void TcpConnection::ArmTlp() {
+  if (tlp_timer_ != kInvalidEventId) {
+    sim_.Cancel(tlp_timer_);
+    tlp_timer_ = kInvalidEventId;
+  }
+  if (!config_.tlp_enabled || tlp_in_flight_) return;
+  if (send_queue_.Empty()) return;
+  if (tdns_.AnyRetransmitPending()) return;  // RTO/recovery owns the clock
+  const RttEstimator& rtt = tdns_.active().rtt;
+  SimTime pto = rtt.has_sample() ? rtt.srtt() * 2 : config_.rtt.initial_rto;
+  pto = std::max(pto, SimTime::Micros(300));
+  tlp_timer_ = sim_.Schedule(pto, [this] {
+    tlp_timer_ = kInvalidEventId;
+    OnTlpFire();
+  });
+}
+
+void TcpConnection::OnTlpFire() {
+  if (send_queue_.Empty() || tlp_in_flight_) return;
+  ++stats_.tlp_probes;
+  tlp_in_flight_ = true;
+  if (CanSendNewSegment()) {
+    SendNewSegment();
+    return;
+  }
+  // Probe with the highest unSACKed segment.
+  auto& segs = send_queue_.segments();
+  for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
+    TxSegment& seg = *it;
+    if (seg.sacked || seg.lost) continue;
+    TdnState& origin = tdns_.state(seg.tdn);
+    TdnState& active = ActiveState();
+    origin.packets_out--;
+    if (seg.retrans) { origin.retrans_out--; seg.retrans = false; }
+    seg.undo_tdn = seg.tdn;
+    seg.tdn = ActiveTdn();
+    active.packets_out++;
+    active.retrans_out++;
+    seg.retrans = true;
+    seg.ever_retrans = true;
+    seg.last_sent = sim_.now();
+    seg.transmissions++;
+    ++stats_.retransmissions;
+    TransmitSegment(seg, /*is_retransmission=*/true);
+    ArmRto();
+    return;
+  }
+}
+
+void TcpConnection::CancelTimers() {
+  if (rto_timer_ != kInvalidEventId) {
+    sim_.Cancel(rto_timer_);
+    rto_timer_ = kInvalidEventId;
+  }
+  if (tlp_timer_ != kInvalidEventId) {
+    sim_.Cancel(tlp_timer_);
+    tlp_timer_ = kInvalidEventId;
+  }
+  if (pace_timer_ != kInvalidEventId) {
+    sim_.Cancel(pace_timer_);
+    pace_timer_ = kInvalidEventId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reTCP circuit echo
+// ---------------------------------------------------------------------------
+
+void TcpConnection::NoteCircuitEcho(bool circuit) {
+  if (circuit_echo_seen_ && circuit == last_circuit_echo_) return;
+  const bool first = !circuit_echo_seen_;
+  circuit_echo_seen_ = true;
+  last_circuit_echo_ = circuit;
+  if (first && !circuit) return;  // initial state on the packet network
+  TdnState& st = ActiveState();
+  st.cc->OnCircuitTransition(st, circuit, /*imminent=*/false);
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,345 @@
+// The TCP engine.
+//
+// One class implements every sender/receiver variant in the paper:
+//   * classic single-path TCP (CUBIC, DCTCP, reTCP): one TdnState,
+//     notifications ignored;
+//   * TDTCP: N TdnStates, ToR notifications switch the active one, segments
+//     carry TD_DATA_ACK TDN tags, the relaxed reordering heuristic and
+//     per-TDN RTT filtering are active;
+//   * MPTCP subflows: pinned to one network, carrying DSS mappings, driven
+//     by the meta-connection in src/mptcp/.
+//
+// The engine mirrors the Linux machinery the paper modifies: a SACK
+// scoreboard, the Open/Disorder/CWR/Recovery/Loss state machine
+// (per TDN, as in Fig. 4), RACK-style time-based loss detection with
+// TLP probes, RTO with exponential backoff, DSACK-based undo of spurious
+// recoveries, and ECN (DCTCP-style per-packet echo).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/host.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/receive_buffer.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/send_queue.hpp"
+#include "tcp/types.hpp"
+#include "tdtcp/congestion_control.hpp"
+#include "tdtcp/reordering.hpp"
+#include "tdtcp/tdn_manager.hpp"
+
+namespace tdtcp {
+
+struct TcpConfig {
+  // --- segmentation (jumbo frames per §5.1) --------------------------------
+  std::uint32_t mss = 8940;          // payload bytes per segment
+  std::uint32_t header_bytes = 60;   // wire overhead per data segment
+  std::uint32_t ack_bytes = 60;      // pure-ACK wire size
+
+  // --- windows --------------------------------------------------------------
+  std::uint32_t initial_cwnd = 10;   // segments (Linux default)
+  std::uint64_t snd_buf_bytes = 8ull << 20;
+  std::uint64_t rcv_buf_bytes = 8ull << 20;
+
+  // --- TDTCP ----------------------------------------------------------------
+  bool tdtcp_enabled = false;      // negotiate TD_CAPABLE, per-TDN state
+  std::uint8_t num_tdns = 1;
+  bool relaxed_reordering = true;  // §3.4 heuristic       (ablation switch)
+  bool per_tdn_rtt = true;         // §4.4 sample matching (ablation switch)
+  bool synthesized_rto = true;     // §4.4 pessimistic RTO (ablation switch)
+
+  // --- loss detection ---------------------------------------------------------
+  bool sack_enabled = true;
+  std::uint32_t dupack_threshold = 3;
+  bool rack_enabled = true;   // time-based marking
+  bool tlp_enabled = true;    // tail-loss probes
+
+  // --- ECN -------------------------------------------------------------------
+  bool ecn_enabled = false;   // send data ECT(0); DCTCP forces this on
+
+  // --- timers ------------------------------------------------------------------
+  RttEstimator::Config rtt;
+
+  // --- pacing -------------------------------------------------------------------
+  // §5.2 suggests sender pacing to blunt the cwnd-sized burst a TDN switch
+  // releases into the (possibly frozen) VOQ. When enabled, transmissions
+  // are spaced at pacing_gain * cwnd * mss / srtt of the active TDN.
+  bool pacing_enabled = false;
+  double pacing_gain = 2.0;
+
+  // --- congestion control --------------------------------------------------
+  CcFactory cc_factory;  // defaults to CUBIC when empty
+  // §3.5: "In principle, TDTCP could use multiple, different CCAs within a
+  // single flow." When non-empty, TDN i uses per_tdn_cc[min(i, size-1)]
+  // instead of cc_factory.
+  std::vector<CcFactory> per_tdn_cc;
+
+  // --- MPTCP subflow plumbing -----------------------------------------------
+  std::int8_t pin_path = kUnpinned;
+  std::uint8_t subflow_id = 0;
+  bool mptcp = false;  // stamp DSS fields on segments/ACKs
+  // MPTCP subflows don't own the host's flow demux entry or notifications;
+  // the meta-connection does.
+  bool register_endpoint = true;
+  bool listen_tdn_notifications = true;
+  // Multi-rack fabrics: only react to notifications about paths toward the
+  // peer's rack (kAllRacks = the paper's fabric-wide semantics).
+  RackId peer_rack = kAllRacks;
+};
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t tlp_probes = 0;
+  std::uint64_t undo_events = 0;          // spurious recoveries rolled back
+  std::uint64_t dsacks_received = 0;
+  // Reordering accounting for Fig. 10: an event is an ACK whose SACK
+  // processing leaves un-SACKed segments below the highest SACK; "marked"
+  // counts segments the fast-retransmit logic declared lost.
+  std::uint64_t reorder_events = 0;
+  std::uint64_t reorder_hole_packets = 0;
+  std::uint64_t reorder_marked_lost = 0;
+  std::uint64_t cross_tdn_exemptions = 0;  // §3.4 holes left un-marked
+  std::uint64_t rtt_samples_dropped = 0;   // §4.4 type-3 samples discarded
+  std::uint64_t tdn_switches = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t bytes_received = 0;        // receiver-side delivered to app
+  std::uint64_t duplicate_segments = 0;    // receiver-side dup arrivals
+};
+
+class TcpConnection : public PacketSink {
+ public:
+  enum class State : std::uint8_t {
+    kClosed, kListen, kSynSent, kSynReceived, kEstablished,
+  };
+
+  // Receiver callback: an in-order byte range was delivered to the app.
+  // `stream_seq` is the (1-based) TCP stream offset; when the segment
+  // carried a DSS mapping, `dss_seq`/`has_dss` expose it for MPTCP.
+  struct DeliverInfo {
+    std::uint64_t stream_seq;
+    std::uint32_t len;
+    bool has_dss;
+    std::uint64_t dss_seq;
+  };
+  using DeliverFn = std::function<void(const DeliverInfo&)>;
+
+  TcpConnection(Simulator& sim, Host* host, FlowId flow, NodeId peer,
+                TcpConfig config);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // --- connection lifecycle --------------------------------------------------
+  void Listen();
+  void Connect();
+
+  // --- application data -------------------------------------------------------
+  // Unlimited source (long-lived flow, as in §5.1).
+  void SetUnlimitedData(bool unlimited);
+  // Finite write of plain stream bytes.
+  void AddAppData(std::uint64_t bytes);
+  // MPTCP: append `len` bytes mapped at data-level sequence `dss_seq`.
+  void AddMappedData(std::uint32_t len, std::uint64_t dss_seq);
+
+  // --- TDN control -------------------------------------------------------------
+  // Host notification entry point (wired via Host::AddTdnListener).
+  void OnTdnChange(TdnId tdn, bool imminent);
+  // §4.2: collapse an established TDTCP connection to regular TCP.
+  void DowngradeToRegularTcp();
+
+  // --- network entry point -----------------------------------------------------
+  void HandlePacket(Packet&& p) override;
+
+  // --- hooks -------------------------------------------------------------------
+  void SetDeliverCallback(DeliverFn fn) { deliver_ = std::move(fn); }
+  // Receiver side: value to stamp into outgoing ACKs' dss_ack (MPTCP meta
+  // cumulative ACK).
+  void SetDssAckProvider(std::function<std::uint64_t()> fn) {
+    dss_ack_provider_ = std::move(fn);
+  }
+  // Receiver side: additional receive-window constraint advertised in ACKs
+  // (MPTCP subflows share the meta-level receive buffer, so a data-sequence
+  // hole parked on a dead subflow shrinks every subflow's window — the
+  // flow-control stall of §2.2/§3.3).
+  void SetRwndProvider(std::function<std::uint64_t()> fn) {
+    rwnd_provider_ = std::move(fn);
+  }
+  // Sender side: observed peer dss_ack (and meta window) on an ACK.
+  void SetDssAckCallback(std::function<void(std::uint64_t, std::uint64_t)> fn) {
+    on_dss_ack_ = std::move(fn);
+  }
+  void SetEstablishedCallback(std::function<void()> fn) {
+    on_established_ = std::move(fn);
+  }
+  // Debug tap: observes every packet this endpoint sends/receives (the
+  // counterpart of the paper artifact's Wireshark TDTCP dissector).
+  enum class TapDirection : std::uint8_t { kTx, kRx };
+  using TapFn = std::function<void(TapDirection, const Packet&)>;
+  void SetPacketTap(TapFn fn) { tap_ = std::move(fn); }
+  // Fired after ACK processing frees window space (MPTCP scheduler hook).
+  void SetSendReadyCallback(std::function<void()> fn) {
+    on_send_ready_ = std::move(fn);
+  }
+
+  // --- introspection -----------------------------------------------------------
+  State state() const { return state_; }
+  bool tdtcp_active() const { return tdtcp_active_; }
+  std::uint64_t snd_una() const { return snd_una_; }
+  std::uint64_t snd_nxt() const { return snd_nxt_; }
+  std::uint64_t rcv_nxt() const { return rcv_buffer_.rcv_nxt(); }
+  std::uint64_t bytes_acked() const;      // sender-side progress (all TDNs)
+  std::uint64_t outstanding_bytes() const { return snd_nxt_ - snd_una_; }
+  std::uint64_t unsent_buffered_bytes() const;
+  TdnManager& tdns() { return tdns_; }
+  const TdnManager& tdns() const { return tdns_; }
+  const TcpStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return config_; }
+  const SendQueue& send_queue() const { return send_queue_; }
+  FlowId flow() const { return flow_; }
+
+  // Unacked data-level (DSS) ranges, lowest first — MPTCP reinjection scans
+  // these to remap stranded data onto the active subflow.
+  struct DssRange { std::uint64_t dss_seq; std::uint32_t len; };
+  std::vector<DssRange> UnackedDssRanges() const;
+  // DSS ranges scheduled onto this subflow but not yet transmitted (stuck in
+  // the send buffer of a subflow whose path went away).
+  std::vector<DssRange> PendingDssRanges() const;
+
+ private:
+  struct PendingChunk {
+    std::uint64_t bytes;
+    bool has_dss;
+    std::uint64_t dss_seq;
+  };
+
+  // --- handshake ---------------------------------------------------------------
+  void SendSyn(bool is_synack);
+  void ResendSynPacket();
+  void OnSyn(const Packet& p);
+  void OnSynAck(const Packet& p);
+  void CompleteHandshake();
+
+  // --- sending ------------------------------------------------------------------
+  void MaybeSend();
+  // True when pacing defers transmission; arms the pace timer.
+  bool PacingDefers();
+  void NotePacedTransmission(std::uint32_t bytes);
+  bool CanSendNewSegment() const;
+  void SendNewSegment();
+  bool RetransmitOneLost();
+  void TransmitSegment(TxSegment& seg, bool is_retransmission);
+  Packet BuildDataPacket(const TxSegment& seg) const;
+
+  // --- receiving ----------------------------------------------------------------
+  void OnDataSegment(Packet&& p);
+  void SendAck(const ReceiveBuffer::Result& result, const Packet& data);
+
+  // --- ACK processing -----------------------------------------------------------
+  void OnAckPacket(const Packet& p);
+  std::uint32_t ProcessSackBlocks(const Packet& p, TdnId trigger_tdn);
+  void ProcessDsack(const SackBlock& block);
+  void ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn);
+  void DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked);
+  void MarkSegmentLost(TxSegment& seg);
+  void AdvanceStateMachines(const Packet& p);
+  void ProportionalRateReduction(TdnState& st, std::uint32_t newly_acked,
+                                 std::uint32_t newly_sacked);
+  void MaybeUndo(TdnState& st);
+
+  // --- congestion transitions -----------------------------------------------
+  void EnterRecovery(TdnState& st);
+  void EnterCwr(TdnState& st);
+  void EnterLoss(TdnState& st);
+
+  // --- timers -------------------------------------------------------------------
+  void ArmRto();
+  void OnRtoFire();
+  void ArmTlp();
+  void OnTlpFire();
+  void CancelTimers();
+  SimTime RtoForSegment(const TxSegment& seg) const;
+
+  // --- helpers ------------------------------------------------------------------
+  TdnState& ActiveState() { return tdns_.active(); }
+  TdnId ActiveTdn() const { return tdns_.active_id(); }
+  bool IsCwndLimited() const;
+  void NoteCircuitEcho(bool circuit);
+
+  Simulator& sim_;
+  Host* host_;
+  FlowId flow_;
+  NodeId peer_;
+  TcpConfig config_;
+  State state_ = State::kClosed;
+
+  // Negotiated at handshake: both ends TD_CAPABLE with equal TDN counts.
+  bool tdtcp_active_ = false;
+
+  TdnManager tdns_;
+  SendQueue send_queue_;
+  ReceiveBuffer rcv_buffer_;
+  TdnChangePointer tdn_change_;
+  bool tdn_pointer_pending_ = false;  // advance pointer at next transmission
+
+  // --- sequence space (1-based; SYN occupies byte 0) ---------------------------
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+
+  // --- app data ------------------------------------------------------------------
+  bool unlimited_data_ = false;
+  std::deque<PendingChunk> pending_;   // unsent application bytes
+  std::uint64_t pending_bytes_ = 0;
+
+  // --- peer flow control -----------------------------------------------------
+  std::uint64_t peer_rwnd_ = 1ull << 30;
+
+  // --- loss detection state -----------------------------------------------------
+  std::uint32_t dupack_count_ = 0;
+  SimTime rack_mstamp_ = SimTime::Zero();  // newest delivered tx timestamp
+  TdnId rack_mstamp_tdn_ = 0;
+  std::uint32_t prev_holes_ = 0;  // reordering-event edge detection
+
+  // --- per-ACK scratch (per-TDN newly-acked accounting) -------------------------
+  std::vector<std::uint32_t> acked_pkts_scratch_;
+  std::vector<std::uint32_t> sacked_pkts_scratch_;
+  std::vector<std::uint64_t> acked_bytes_scratch_;
+  std::vector<SimTime> rtt_scratch_;
+  TdnId ece_target_tdn_ = 0;
+
+  // --- timers ---------------------------------------------------------------------
+  EventId rto_timer_ = kInvalidEventId;
+  EventId tlp_timer_ = kInvalidEventId;
+  std::uint32_t rto_backoff_ = 0;
+  bool tlp_in_flight_ = false;
+
+  // --- pacing ---------------------------------------------------------------------
+  EventId pace_timer_ = kInvalidEventId;
+  SimTime next_send_time_ = SimTime::Zero();
+
+  // --- reTCP circuit echo tracking ---------------------------------------------
+  bool last_circuit_echo_ = false;
+  bool circuit_echo_seen_ = false;
+
+  // --- callbacks -------------------------------------------------------------------
+  DeliverFn deliver_;
+  TapFn tap_;
+  std::function<std::uint64_t()> dss_ack_provider_;
+  std::function<std::uint64_t()> rwnd_provider_;
+  std::function<void(std::uint64_t, std::uint64_t)> on_dss_ack_;
+  std::function<void()> on_established_;
+  std::function<void()> on_send_ready_;
+
+  TcpStats stats_;
+};
+
+}  // namespace tdtcp

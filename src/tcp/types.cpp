@@ -1,0 +1,16 @@
+#include "tcp/types.hpp"
+
+namespace tdtcp {
+
+const char* CaStateName(CaState s) {
+  switch (s) {
+    case CaState::kOpen: return "Open";
+    case CaState::kDisorder: return "Disorder";
+    case CaState::kCwr: return "CWR";
+    case CaState::kRecovery: return "Recovery";
+    case CaState::kLoss: return "Loss";
+  }
+  return "?";
+}
+
+}  // namespace tdtcp

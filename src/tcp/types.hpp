@@ -1,0 +1,43 @@
+// Shared TCP engine types: Linux-style congestion state machine states and
+// ACK-processing event descriptors.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace tdtcp {
+
+// Linux tcp_ca_state: the per-path congestion state machine (Fig. 4 shows
+// one instance per TDN).
+enum class CaState : std::uint8_t {
+  kOpen,      // normal operation
+  kDisorder,  // dupACKs/SACKs seen, no loss confirmed yet
+  kCwr,       // congestion window reduced (ECN)
+  kRecovery,  // fast recovery, retransmitting
+  kLoss,      // RTO fired, conservative recovery
+};
+
+const char* CaStateName(CaState s);
+
+// Events forwarded to congestion-control modules (subset of Linux
+// tcp_ca_event relevant to this system).
+enum class CwndEvent : std::uint8_t {
+  kTxStart,        // first transmission after idle
+  kCompleteCwr,    // finished CWND reduction episode
+  kLossUndone,     // spurious loss detected, state restored
+  kTdnResume,      // TDTCP: this TDN just became active again
+};
+
+// Summary of one incoming ACK after scoreboard updates, given to CC hooks.
+struct AckEvent {
+  std::uint32_t newly_acked_packets = 0;
+  std::uint64_t newly_acked_bytes = 0;
+  std::uint32_t newly_sacked_packets = 0;
+  bool ece = false;           // ECN echo seen on this ACK
+  bool circuit_echo = false;  // reTCP: receiver saw the circuit mark
+  SimTime rtt_sample = SimTime::Zero();  // zero when no valid sample
+  bool cwnd_limited = false;  // sender was using the full window
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,49 @@
+// §3.4's relaxed reordering detection.
+//
+// When SACKs open a hole in the sequence space, classic fast recovery marks
+// the hole segments lost. In an RDCN most such holes are cross-TDN
+// reordering: segments sent at the tail of a high-latency TDN are overtaken
+// by segments (and their ACKs) on the new low-latency TDN. TDTCP inspects
+// the TDN tag of every hole segment and compares it against the TDN of the
+// acknowledgment that triggered the heuristic and the TDN change pointer
+// (the first sequence transmitted on the new TDN): a mismatched segment is
+// very likely just delayed, so it is exempted from loss marking and left to
+// RACK-TLP (with the pessimistic cross-TDN reordering window) to catch the
+// rare true tail loss.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "tcp/send_queue.hpp"
+
+namespace tdtcp {
+
+// Position of the most recent TDN boundary in sequence space: the first
+// sequence number transmitted on the current TDN (equivalently, one past
+// the last sequence of the previous TDN).
+struct TdnChangePointer {
+  std::uint64_t first_seq_of_new_tdn = 0;
+  TdnId new_tdn = 0;
+
+  void Advance(std::uint64_t seq, TdnId tdn) {
+    first_seq_of_new_tdn = seq;
+    new_tdn = tdn;
+  }
+};
+
+// True when `seg` — a hole segment the fast-retransmit heuristic wants to
+// mark lost — should instead be suspected of cross-TDN reordering.
+inline bool SuspectCrossTdnReordering(const TxSegment& seg, TdnId trigger_ack_tdn,
+                                      const TdnChangePointer& pointer) {
+  if (seg.tdn == trigger_ack_tdn) return false;
+  // A mismatched segment sitting below the change pointer belongs to the
+  // previous TDN; its ACK is almost certainly in flight on the slower path.
+  // Segments above the pointer with a stale tag (rare: retransmissions
+  // re-tagged mid-switch) are treated the same way — the tag mismatch is
+  // the paper's primary condition.
+  (void)pointer;
+  return true;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,75 @@
+#include "tdtcp/tdn_manager.hpp"
+
+#include <cassert>
+
+namespace tdtcp {
+
+TdnManager::TdnManager(std::uint32_t num_tdns, IndexedCcFactory factory,
+                       RttEstimator::Config rtt_config, std::uint32_t initial_cwnd)
+    : factory_(std::move(factory)), rtt_config_(rtt_config),
+      initial_cwnd_(initial_cwnd) {
+  assert(num_tdns >= 1);
+  for (std::uint32_t i = 0; i < num_tdns; ++i) EnsureTdn(static_cast<TdnId>(i));
+}
+
+void TdnManager::EnsureTdn(TdnId id) {
+  while (states_.size() <= id) {
+    TdnState s;
+    s.id = static_cast<TdnId>(states_.size());
+    s.cwnd = initial_cwnd_;
+    s.rtt = RttEstimator(rtt_config_);
+    s.cc = factory_(s.id);
+    s.cc->Init(s);
+    states_.push_back(std::move(s));
+  }
+}
+
+bool TdnManager::SwitchTo(TdnId id) {
+  EnsureTdn(id);
+  if (id == active_) return false;
+  active_ = id;
+  TdnState& s = states_[active_];
+  s.cc->OnCwndEvent(s, CwndEvent::kTdnResume);
+  return true;
+}
+
+std::uint32_t TdnManager::TotalPacketsOut() const {
+  std::uint32_t total = 0;
+  for (const auto& s : states_) total += s.packets_out;
+  return total;
+}
+
+std::uint32_t TdnManager::TotalPipe() const {
+  std::uint32_t total = 0;
+  for (const auto& s : states_) total += s.packets_in_flight();
+  return total;
+}
+
+bool TdnManager::AnyRetransmitPending() const {
+  for (const auto& s : states_) {
+    if (s.lost_out > 0 &&
+        (s.ca_state == CaState::kRecovery || s.ca_state == CaState::kLoss)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const RttEstimator& TdnManager::SlowestRtt(TdnId fallback) const {
+  const RttEstimator* slowest = &states_[fallback].rtt;
+  for (const auto& s : states_) {
+    if (!s.rtt.has_sample()) continue;
+    if (!slowest->has_sample() || s.rtt.srtt() > slowest->srtt()) {
+      slowest = &s.rtt;
+    }
+  }
+  return *slowest;
+}
+
+SimTime TdnManager::RtoFor(TdnId id, bool synthesized) const {
+  const TdnState& s = states_[id];
+  if (!synthesized) return s.rtt.Rto();
+  return s.rtt.SynthesizedRto(SlowestRtt(id));
+}
+
+}  // namespace tdtcp

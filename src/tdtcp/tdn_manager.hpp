@@ -1,0 +1,80 @@
+// TdnManager: owns the per-TDN state copies and implements the four state
+// management semantics of §4.3:
+//   * current TDN  — active() for tagging new transmissions,
+//   * all TDNs     — TotalPacketsOut() for ACK validation,
+//   * any TDN      — AnyRetransmitPending() ORs ca_state/lost_out,
+//   * specific TDN — state(id) so ACK processing credits each segment's TDN.
+// It also provides §4.4's pessimistic synthesized RTO against the slowest
+// TDN, and supports runtime schedule growth (§4.2: "TDTCP automatically
+// initializes a new set of state variables upon being notified of a new TDN
+// for the first time").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcp/rtt_estimator.hpp"
+#include "tdtcp/congestion_control.hpp"
+#include "tdtcp/tdn_state.hpp"
+
+namespace tdtcp {
+
+class TdnManager {
+ public:
+  // §3.5: each TDN could in principle run a different CCA, so the factory
+  // is indexed by TDN id.
+  using IndexedCcFactory = std::function<std::unique_ptr<CongestionControl>(TdnId)>;
+
+  TdnManager(std::uint32_t num_tdns, IndexedCcFactory factory,
+             RttEstimator::Config rtt_config, std::uint32_t initial_cwnd);
+
+  // Convenience: the same CCA on every TDN.
+  TdnManager(std::uint32_t num_tdns, const CcFactory& factory,
+             RttEstimator::Config rtt_config, std::uint32_t initial_cwnd)
+      : TdnManager(num_tdns,
+                   IndexedCcFactory([factory](TdnId) { return factory(); }),
+                   rtt_config, initial_cwnd) {}
+
+  TdnId active_id() const { return active_; }
+  TdnState& active() { return states_[active_]; }
+  const TdnState& active() const { return states_[active_]; }
+
+  TdnState& state(TdnId id) { return states_[id]; }
+  const TdnState& state(TdnId id) const { return states_[id]; }
+  std::size_t num_tdns() const { return states_.size(); }
+
+  // §3.1: swap the active set of state variables. The new set "already
+  // contains a snapshot view of the new TDN when it was last active", so the
+  // switch itself only flips an index and notifies the new TDN's CC module.
+  // Unknown ids allocate fresh state (runtime schedule change). Returns
+  // false if the id was already active.
+  bool SwitchTo(TdnId id);
+
+  void EnsureTdn(TdnId id);
+
+  // §4.3 "all TDNs": an ACK can acknowledge data from any TDN, so validity
+  // checks must use the sum.
+  std::uint32_t TotalPacketsOut() const;
+  std::uint32_t TotalPipe() const;
+
+  // §4.3 "any TDN": retransmissions are scheduled if any TDN is in
+  // Recovery/Loss with unrecovered losses.
+  bool AnyRetransmitPending() const;
+
+  // §4.4: the TDN whose smoothed RTT is currently largest (for pessimistic
+  // timeout synthesis). Falls back to `fallback` when nothing has samples.
+  const RttEstimator& SlowestRtt(TdnId fallback) const;
+
+  // RTO for a segment sent on `id`: synthesized against the slowest TDN
+  // when `synthesized` (TDTCP), the TDN's own RTO otherwise.
+  SimTime RtoFor(TdnId id, bool synthesized) const;
+
+ private:
+  std::vector<TdnState> states_;
+  IndexedCcFactory factory_;
+  RttEstimator::Config rtt_config_;
+  std::uint32_t initial_cwnd_;
+  TdnId active_ = 0;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,83 @@
+#include "trace/flow_logger.hpp"
+
+#include <cstdio>
+
+namespace tdtcp {
+
+std::string FormatPacketLine(SimTime now, TcpConnection::TapDirection dir,
+                             const Packet& p) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "%10.3fus %s ",
+                        now.micros_f(),
+                        dir == TcpConnection::TapDirection::kTx ? "->" : "<-");
+  std::string line(buf, static_cast<std::size_t>(n));
+
+  switch (p.type) {
+    case PacketType::kTdnNotify:
+      std::snprintf(buf, sizeof(buf), "ICMP tdn-change active_tdn=%u%s",
+                    p.notify_tdn,
+                    p.circuit_imminent ? " [circuit imminent]" : "");
+      line += buf;
+      if (p.notify_peer != kAllRacks) {
+        std::snprintf(buf, sizeof(buf), " peer_rack=%u", p.notify_peer);
+        line += buf;
+      }
+      return line;
+    case PacketType::kData:
+      if (p.syn) {
+        std::snprintf(buf, sizeof(buf), "SYN%s%s", p.ack ? "/ACK" : "",
+                      p.td_capable ? " <TD_CAPABLE" : "");
+        line += buf;
+        if (p.td_capable) {
+          std::snprintf(buf, sizeof(buf), " tdns=%u>", p.td_num_tdns);
+          line += buf;
+        }
+        return line;
+      }
+      std::snprintf(buf, sizeof(buf), "DATA seq=%llu len=%u",
+                    static_cast<unsigned long long>(p.seq), p.payload);
+      line += buf;
+      if (p.data_tdn != kNoTdn) {
+        std::snprintf(buf, sizeof(buf), " <TD_DATA_ACK D tdn=%u>", p.data_tdn);
+        line += buf;
+      }
+      break;
+    case PacketType::kAck:
+      std::snprintf(buf, sizeof(buf), "ACK %llu",
+                    static_cast<unsigned long long>(p.ack));
+      line += buf;
+      for (std::uint8_t i = 0; i < p.num_sack; ++i) {
+        std::snprintf(buf, sizeof(buf), " sack[%llu,%llu)",
+                      static_cast<unsigned long long>(p.sack[i].start),
+                      static_cast<unsigned long long>(p.sack[i].end));
+        line += buf;
+      }
+      if (p.ack_tdn != kNoTdn) {
+        std::snprintf(buf, sizeof(buf), " <TD_DATA_ACK A tdn=%u>", p.ack_tdn);
+        line += buf;
+      }
+      if (p.ece) line += " ECE";
+      break;
+  }
+  if (p.ecn == Ecn::kCe) line += " CE";
+  if (p.circuit_mark) line += " [circuit]";
+  if (p.circuit_echo) line += " [circuit-echo]";
+  if (p.is_mptcp && p.has_dss) {
+    std::snprintf(buf, sizeof(buf), " dss=%llu dack=%llu sf=%u",
+                  static_cast<unsigned long long>(p.dss_seq),
+                  static_cast<unsigned long long>(p.dss_ack), p.subflow);
+    line += buf;
+  }
+  return line;
+}
+
+std::string FlowLogger::Dump() const {
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,49 @@
+// Human-readable packet logging — the simulator counterpart of the paper
+// artifact's Wireshark TDTCP dissector. Attach to a TcpConnection's packet
+// tap; each event becomes a tcpdump-like line with the TDTCP options
+// (TD_DATA_ACK TDN tags), SACK blocks, ECN/circuit marks, and MPTCP DSS
+// fields decoded.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace tdtcp {
+
+// Formats one packet event as a single log line.
+std::string FormatPacketLine(SimTime now, TcpConnection::TapDirection dir,
+                             const Packet& p);
+
+// Ring-buffer packet log. Attach() installs the tap; Dump() returns (and
+// optionally a test inspects) the retained lines.
+class FlowLogger {
+ public:
+  explicit FlowLogger(Simulator& sim, std::size_t max_lines = 4096)
+      : sim_(sim), max_lines_(max_lines) {}
+
+  void Attach(TcpConnection& conn) {
+    conn.SetPacketTap(
+        [this](TcpConnection::TapDirection dir, const Packet& p) {
+          Record(dir, p);
+        });
+  }
+
+  void Record(TcpConnection::TapDirection dir, const Packet& p) {
+    lines_.push_back(FormatPacketLine(sim_.now(), dir, p));
+    if (lines_.size() > max_lines_) lines_.pop_front();
+  }
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  std::string Dump() const;
+
+ private:
+  Simulator& sim_;
+  std::size_t max_lines_;
+  std::deque<std::string> lines_;
+};
+
+}  // namespace tdtcp

@@ -1,0 +1,254 @@
+// Edge cases across the stack: segmentation boundaries, buffer limits,
+// runtime TDN growth from the wire, downgrade under duress, ECN/recovery
+// interleavings, and long-horizon arithmetic.
+#include <gtest/gtest.h>
+
+#include "cc/registry.hpp"
+#include "net/fabric_port.hpp"
+#include "rdcn/schedule.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "test_util.hpp"
+
+namespace tdtcp {
+namespace {
+
+using test::CaptureSink;
+using test::LoopbackHarness;
+
+TcpConfig BaseConfig() {
+  TcpConfig c;
+  c.mss = 1000;
+  c.cc_factory = MakeCcFactory("reno");
+  return c;
+}
+
+struct Fixture {
+  explicit Fixture(TcpConfig config = BaseConfig(), bool td = false)
+      : harness(sim), conn(sim, &harness.host, 1, 99, config) {
+    conn.Connect();
+    harness.Settle();
+    Packet syn = harness.out.Pop();
+    conn.HandlePacket(LoopbackHarness::SynAckFor(syn, td, config.num_tdns));
+    harness.Settle();
+    harness.out.packets.clear();
+  }
+  std::vector<Packet> TakeData() {
+    std::vector<Packet> out;
+    while (!harness.out.Empty()) {
+      Packet p = harness.out.Pop();
+      if (p.payload > 0) out.push_back(std::move(p));
+    }
+    return out;
+  }
+  Simulator sim;
+  LoopbackHarness harness;
+  TcpConnection conn;
+};
+
+TEST(Segmentation, NoSegmentExceedsMss) {
+  Fixture f;
+  f.conn.AddAppData(12'345);
+  f.harness.Settle();
+  std::uint64_t total = 0;
+  for (auto& p : f.TakeData()) {
+    EXPECT_LE(p.payload, 1000u);
+    total += p.payload;
+  }
+  EXPECT_EQ(total, 10'000u);  // initial cwnd of 10 segments
+}
+
+TEST(Segmentation, MappedChunksNeverSpan) {
+  // MPTCP DSS mappings must stay per-segment: a segment never crosses a
+  // chunk boundary even when chunks are smaller than the MSS.
+  Fixture f;
+  f.conn.AddMappedData(700, 10'000);
+  f.conn.AddMappedData(700, 50'000);
+  f.harness.Settle();
+  auto data = f.TakeData();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].payload, 700u);
+  EXPECT_EQ(data[0].dss_seq, 10'000u);
+  EXPECT_EQ(data[1].payload, 700u);
+  EXPECT_EQ(data[1].dss_seq, 50'000u);
+}
+
+TEST(Segmentation, SndBufLimitsOutstanding) {
+  TcpConfig c = BaseConfig();
+  c.snd_buf_bytes = 3'000;
+  c.initial_cwnd = 100;
+  Fixture f(c);
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  EXPECT_EQ(f.TakeData().size(), 3u);  // buffer, not cwnd, binds
+}
+
+TEST(RuntimeTdn, UnknownAckTdnGrowsStateSet) {
+  TcpConfig c = BaseConfig();
+  c.tdtcp_enabled = true;
+  c.num_tdns = 2;
+  Fixture f(c, /*td=*/true);
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  ASSERT_EQ(f.conn.tdns().num_tdns(), 2u);
+  // An ACK tagged with a TDN the sender has never seen (runtime schedule
+  // change, §4.2) must allocate state instead of crashing.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001, {}, /*ack_tdn=*/5));
+  EXPECT_EQ(f.conn.tdns().num_tdns(), 6u);
+  EXPECT_EQ(f.conn.snd_una(), 2001u);
+}
+
+TEST(Downgrade, DuringRecoveryStaysConsistent) {
+  TcpConfig c = BaseConfig();
+  c.tdtcp_enabled = true;
+  c.num_tdns = 2;
+  Fixture f(c, /*td=*/true);
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 1, {{1001, 5001}}, 0));
+  ASSERT_EQ(f.conn.tdns().state(0).ca_state, CaState::kRecovery);
+  f.conn.DowngradeToRegularTcp();
+  // Notifications are now ignored; recovery still completes.
+  f.conn.OnTdnChange(1, false);
+  EXPECT_EQ(f.conn.tdns().active_id(), 0);
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, f.conn.snd_nxt()));
+  EXPECT_EQ(f.conn.tdns().state(0).ca_state, CaState::kOpen);
+}
+
+TEST(Ecn, EceDuringRecoveryDoesNotDoubleReduce) {
+  TcpConfig c = BaseConfig();
+  c.ecn_enabled = true;
+  Fixture f(c);
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 1, {{1001, 5001}}));
+  ASSERT_EQ(f.conn.tdns().active().ca_state, CaState::kRecovery);
+  const auto ssthresh = f.conn.tdns().active().ssthresh;
+  Packet e = LoopbackHarness::Ack(1, 2001, {{2001, 5001}});
+  e.ece = true;
+  f.conn.HandlePacket(std::move(e));
+  // Still in the same episode; ssthresh untouched by the ECE.
+  EXPECT_EQ(f.conn.tdns().active().ssthresh, ssthresh);
+  EXPECT_EQ(f.conn.tdns().active().ca_state, CaState::kRecovery);
+}
+
+TEST(FlowControl, MidStreamWindowShrinkRespected) {
+  Fixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.TakeData();
+  Packet a = LoopbackHarness::Ack(1, 5001);
+  a.rcv_window = 2000;  // only two more segments allowed outstanding
+  f.conn.HandlePacket(std::move(a));
+  f.harness.Settle();
+  // Outstanding was 5000 (> 2000): nothing new may be sent...
+  EXPECT_TRUE(f.TakeData().empty());
+  // ...until enough is acknowledged.
+  Packet b = LoopbackHarness::Ack(1, 10'001);
+  b.rcv_window = 2000;
+  f.conn.HandlePacket(std::move(b));
+  f.harness.Settle();
+  EXPECT_EQ(f.TakeData().size(), 2u);
+}
+
+TEST(Receiver, ManyAlternatingHolesSackedCorrectly) {
+  Fixture rxf;  // reuse fixture's connection as a receiver via Listen path
+  Simulator sim;
+  LoopbackHarness h(sim);
+  TcpConfig c = BaseConfig();
+  TcpConnection rx(sim, &h.host, 2, 99, c);
+  rx.Listen();
+  Packet syn;
+  syn.type = PacketType::kData;
+  syn.flow = 2;
+  syn.syn = true;
+  syn.size_bytes = 60;
+  rx.HandlePacket(std::move(syn));
+  h.Settle();
+  h.out.packets.clear();
+  rx.HandlePacket(LoopbackHarness::Ack(2, 1));
+
+  // Deliver segments 2,4,6,8 (odd ones missing), spaced in time so SACK
+  // recency ordering is well-defined.
+  for (int i : {1, 3, 5, 7}) {
+    Packet d;
+    d.type = PacketType::kData;
+    d.flow = 2;
+    d.seq = 1 + static_cast<std::uint64_t>(i) * 1000;
+    d.payload = 1000;
+    d.size_bytes = 1060;
+    rx.HandlePacket(std::move(d));
+    sim.RunFor(SimTime::Micros(1));
+  }
+  h.Settle();
+  ASSERT_FALSE(h.out.Empty());
+  Packet last_ack = h.out.packets.back();
+  EXPECT_EQ(last_ack.ack, 1u);            // nothing in order yet
+  EXPECT_EQ(last_ack.num_sack, 4u);       // four disjoint blocks
+  // Most recent hole-filling first: segment 8's block.
+  EXPECT_EQ(last_ack.sack[0].start, 7001u);
+  EXPECT_EQ(rx.rcv_nxt(), 1u);
+  // Now fill the head: everything up to 2000 delivered, holes shrink.
+  Packet d0;
+  d0.type = PacketType::kData;
+  d0.flow = 2;
+  d0.seq = 1;
+  d0.payload = 1000;
+  d0.size_bytes = 1060;
+  rx.HandlePacket(std::move(d0));
+  EXPECT_EQ(rx.rcv_nxt(), 2001u);  // segment 1 plus buffered segment 2
+}
+
+TEST(FabricPort, ModeChangeMidSerializationCompletesAtOldRate) {
+  Simulator sim;
+  CaptureSink sink;
+  FabricPort::Config fc;
+  fc.voq.capacity_packets = 16;
+  fc.initial_mode = NetworkMode{0, 10'000'000'000, SimTime::Zero(), false};
+  FabricPort port(sim, fc, &sink);
+  Packet p;
+  p.id = NextPacketId();
+  p.type = PacketType::kData;
+  p.size_bytes = 9000;  // 7.2us at 10G
+  port.Enqueue(std::move(p));
+  sim.RunUntil(SimTime::Micros(1));
+  port.SetMode(NetworkMode{1, 100'000'000'000, SimTime::Zero(), true});
+  sim.Run();
+  // The in-flight packet finishes at the old 10G rate (7.2us), not 0.72us.
+  EXPECT_EQ(sim.now(), SimTime::Nanos(7200));
+  // It still gets the *old-mode* circuit mark? No: marks are stamped at
+  // dequeue, which happened before the switch.
+  EXPECT_FALSE(sink.packets.front().circuit_mark);
+}
+
+TEST(Schedule, FarFutureNoOverflow) {
+  Schedule s((ScheduleConfig()));
+  const SimTime t = SimTime::Seconds(3600);  // one simulated hour
+  const auto slot = s.SlotAt(t);
+  EXPECT_LT(slot.day_index, 7u);
+  EXPECT_GT(s.OptimalBits(t, 10e9, 100e9), 0.0);
+  EXPECT_EQ((slot.end - slot.start).micros() == 180 ||
+                (slot.end - slot.start).micros() == 20,
+            true);
+}
+
+TEST(Tlp, DoesNotFireWithNothingOutstanding) {
+  Fixture f;
+  f.conn.AddAppData(2000);
+  f.harness.Settle();
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001));
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(5));
+  EXPECT_EQ(f.conn.stats().tlp_probes, 0u);
+  EXPECT_EQ(f.conn.stats().timeouts, 0u);
+}
+
+TEST(Stats, BytesAckedMatchesSndUna) {
+  Fixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 7001));
+  EXPECT_EQ(f.conn.bytes_acked(), 7000u);
+  EXPECT_EQ(f.conn.snd_una(), 7001u);
+}
+
+}  // namespace
+}  // namespace tdtcp

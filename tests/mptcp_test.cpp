@@ -1,0 +1,161 @@
+// MPTCP: tdm_schd steering, DSS reassembly and dedup, pinned-path stalls,
+// connection-level reinjection, shared meta receive window.
+#include <gtest/gtest.h>
+
+#include "app/experiment.hpp"
+#include "mptcp/mptcp_connection.hpp"
+#include "net/topology.hpp"
+#include "rdcn/controller.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace tdtcp {
+namespace {
+
+// Full two-rack RDCN with one MPTCP flow.
+struct MptcpFixture {
+  MptcpFixture() : rng(1), topo(sim, rng, TopoCfg()) {
+    RdcnController::Config rc;
+    rc.packet_mode = topo.config().packet_mode;
+    rc.circuit_mode = topo.config().circuit_mode;
+    controller = std::make_unique<RdcnController>(
+        sim, rc,
+        std::vector<FabricPort*>{topo.port(0, 1), topo.port(1, 0)},
+        std::vector<ToRSwitch*>{topo.tor(0), topo.tor(1)});
+
+    MptcpConnection::Config mc;
+    mc.subflow.mss = 8940;
+    receiver = std::make_unique<MptcpConnection>(sim, topo.host(1, 0), 1,
+                                                 topo.host_id(0, 0), mc);
+    sender = std::make_unique<MptcpConnection>(sim, topo.host(0, 0), 1,
+                                               topo.host_id(1, 0), mc);
+    receiver->Listen();
+    controller->Start();
+    sender->Connect();
+    sender->SetUnlimitedData(true);
+  }
+
+  static TopologyConfig TopoCfg() {
+    TopologyConfig tc;
+    tc.hosts_per_rack = 2;
+    return tc;
+  }
+
+  Simulator sim;
+  Random rng;
+  Topology topo;
+  std::unique_ptr<RdcnController> controller;
+  std::unique_ptr<MptcpConnection> sender;
+  std::unique_ptr<MptcpConnection> receiver;
+};
+
+TEST(Mptcp, SubflowZeroEstablishesImmediately) {
+  MptcpFixture f;
+  f.sim.RunUntil(SimTime::Millis(1));
+  EXPECT_EQ(f.sender->subflow(0)->state(), TcpConnection::State::kEstablished);
+  // Subflow 1's SYN is pinned to the circuit: it waits for the first
+  // optical day (1200us).
+  EXPECT_NE(f.sender->subflow(1)->state(), TcpConnection::State::kEstablished);
+  f.sim.RunUntil(SimTime::Millis(2));
+  EXPECT_EQ(f.sender->subflow(1)->state(), TcpConnection::State::kEstablished);
+}
+
+TEST(Mptcp, SchedulerSteersByActiveTdn) {
+  MptcpFixture f;
+  f.sim.RunUntil(SimTime::Micros(1100));  // packet day
+  EXPECT_EQ(f.sender->active_subflow(), 0u);
+  f.sim.RunUntil(SimTime::Micros(1300));  // optical day
+  EXPECT_EQ(f.sender->active_subflow(), 1u);
+  f.sim.RunUntil(SimTime::Micros(1500));  // back on packet
+  EXPECT_EQ(f.sender->active_subflow(), 0u);
+}
+
+TEST(Mptcp, MetaProgressSpansBothSubflows) {
+  MptcpFixture f;
+  f.sim.RunUntil(SimTime::Millis(4));  // a couple of weeks
+  EXPECT_GT(f.sender->meta_bytes_acked(), 0u);
+  // Both subflows carried data.
+  EXPECT_GT(f.sender->subflow(0)->bytes_acked(), 0u);
+  EXPECT_GT(f.sender->subflow(1)->bytes_acked(), 0u);
+  // Receiver-side in-order delivery tracks the sender.
+  EXPECT_GT(f.receiver->meta_bytes_delivered(), 0u);
+  EXPECT_GE(f.sender->meta_bytes_acked(), f.receiver->meta_bytes_delivered() / 2);
+}
+
+TEST(Mptcp, MetaDeliveryIsExactlyOnce) {
+  MptcpFixture f;
+  f.sim.RunUntil(SimTime::Millis(6));
+  // Delivered meta bytes never exceed scheduled bytes even with
+  // reinjection duplicates; duplicates are counted and discarded.
+  const auto scheduled = f.sender->stats().scheduled_segments * 8940;
+  EXPECT_LE(f.receiver->meta_bytes_delivered(), scheduled);
+}
+
+TEST(Mptcp, PinnedPacketsStrandAtToR) {
+  MptcpFixture f;
+  // During the optical day, subflow-0 traffic (pinned to the packet
+  // network) strands in the ToR stashes — the strict subflow/path isolation
+  // of §2.2.
+  f.sim.RunUntil(SimTime::Micros(1300));
+  EXPECT_GT(f.topo.port(1, 0)->pinned_waiting() +
+                f.topo.port(0, 1)->pinned_waiting(), 0u);
+}
+
+TEST(Mptcp, ReinjectionRepairsStrandedTailUnderContention) {
+  // With a rack of flows sharing the 16-packet VOQ, optical-tail data is
+  // regularly stranded/dropped; the metas must reinject, and the receivers
+  // see the resulting meta-level duplicates.
+  ExperimentConfig cfg = PaperConfig(Variant::kMptcp);
+  cfg.workload.num_flows = 16;
+  Simulator sim;
+  Random rng(cfg.seed);
+  Topology topo(sim, rng, cfg.topology);
+  RdcnController::Config rc;
+  rc.schedule = cfg.schedule;
+  rc.packet_mode = cfg.topology.packet_mode;
+  rc.circuit_mode = cfg.topology.circuit_mode;
+  RdcnController controller(sim, rc, {topo.port(0, 1), topo.port(1, 0)},
+                            {topo.tor(0), topo.tor(1)});
+  Workload workload(sim, topo, cfg.workload);
+  controller.Start();
+  workload.Start();
+  sim.RunUntil(SimTime::Millis(20));
+  std::uint64_t reinjections = 0, dups = 0, delivered = 0;
+  for (auto& f : workload.flows()) {
+    reinjections += f.mptcp_sender->stats().reinjections;
+    dups += f.mptcp_receiver->stats().meta_duplicates;
+    delivered += f.mptcp_receiver->meta_bytes_delivered();
+  }
+  EXPECT_GT(reinjections, 0u);
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(delivered, 10'000'000u);  // progress despite the stalls
+}
+
+TEST(Mptcp, ThroughputBelowTdtcp) {
+  // The paper's headline ordering: MPTCP is the weakest of the multi-TDN
+  // aware transports (41% below TDTCP in the paper's setting).
+  ExperimentConfig mp = PaperConfig(Variant::kMptcp);
+  mp.duration = SimTime::Millis(30);
+  mp.warmup = SimTime::Millis(5);
+  mp.workload.num_flows = 8;
+  ExperimentConfig td = PaperConfig(Variant::kTdtcp);
+  td.duration = mp.duration;
+  td.warmup = mp.warmup;
+  td.workload.num_flows = 8;
+  const double mptcp_bps = RunExperiment(mp).goodput_bps;
+  const double tdtcp_bps = RunExperiment(td).goodput_bps;
+  EXPECT_LT(mptcp_bps, tdtcp_bps);
+}
+
+TEST(Mptcp, SubflowPacketsCarryPinAndDss) {
+  MptcpFixture f;
+  f.sim.RunUntil(SimTime::Millis(2));
+  // Inspect sender-side subflow configuration effects indirectly: subflow 1
+  // data is only acked during/after optical days, and DSS mappings exist.
+  EXPECT_TRUE(f.sender->subflow(1)->config().mptcp);
+  EXPECT_EQ(f.sender->subflow(1)->config().pin_path, 1);
+  EXPECT_EQ(f.sender->subflow(0)->config().pin_path, 0);
+}
+
+}  // namespace
+}  // namespace tdtcp

@@ -1,0 +1,129 @@
+// RTT estimation and the TDTCP synthesized timeout (§4.4).
+#include <gtest/gtest.h>
+
+#include "tcp/rtt_estimator.hpp"
+#include "tdtcp/tdn_manager.hpp"
+#include "cc/reno.hpp"
+
+namespace tdtcp {
+namespace {
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  e.AddSample(SimTime::Micros(100));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), SimTime::Micros(100));
+  EXPECT_EQ(e.rttvar(), SimTime::Micros(50));
+  EXPECT_EQ(e.min_rtt(), SimTime::Micros(100));
+}
+
+TEST(RttEstimator, ConvergesToStableRtt) {
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.AddSample(SimTime::Micros(100));
+  EXPECT_EQ(e.srtt(), SimTime::Micros(100));
+  EXPECT_LT(e.rttvar(), SimTime::Micros(2));
+}
+
+TEST(RttEstimator, TracksShiftingRtt) {
+  RttEstimator e;
+  for (int i = 0; i < 50; ++i) e.AddSample(SimTime::Micros(40));
+  for (int i = 0; i < 200; ++i) e.AddSample(SimTime::Micros(120));
+  EXPECT_GT(e.srtt(), SimTime::Micros(110));
+  EXPECT_EQ(e.min_rtt(), SimTime::Micros(40));
+}
+
+TEST(RttEstimator, MixedSamplesLandBetween) {
+  // The failure mode §3.1 describes: merging two TDNs' samples yields an
+  // estimate wrong for both.
+  RttEstimator e;
+  for (int i = 0; i < 300; ++i) {
+    e.AddSample(SimTime::Micros(i % 2 == 0 ? 40 : 100));
+  }
+  EXPECT_GT(e.srtt(), SimTime::Micros(50));
+  EXPECT_LT(e.srtt(), SimTime::Micros(90));
+}
+
+TEST(RttEstimator, RtoBeforeSamplesIsInitial) {
+  RttEstimator e;
+  EXPECT_EQ(e.Rto(), RttEstimator::Config{}.initial_rto);
+}
+
+TEST(RttEstimator, RtoFormulaAndClamp) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = SimTime::Micros(500);
+  cfg.max_rto = SimTime::Millis(2);
+  RttEstimator e(cfg);
+  for (int i = 0; i < 200; ++i) e.AddSample(SimTime::Micros(50));
+  // srtt + 4*rttvar ~ 50us -> clamped up to min_rto.
+  EXPECT_EQ(e.Rto(), SimTime::Micros(500));
+
+  RttEstimator big(cfg);
+  for (int i = 0; i < 10; ++i) big.AddSample(SimTime::Millis(5));
+  EXPECT_EQ(big.Rto(), SimTime::Millis(2));  // clamped down to max
+}
+
+TEST(RttEstimator, IgnoresNonPositiveSamples) {
+  RttEstimator e;
+  e.AddSample(SimTime::Zero());
+  e.AddSample(SimTime::Micros(-5));
+  EXPECT_FALSE(e.has_sample());
+}
+
+TEST(RttEstimator, SynthesizedRtoUsesSlowestTdn) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = SimTime::Micros(10);
+  RttEstimator fast(cfg), slow(cfg);
+  for (int i = 0; i < 300; ++i) {
+    fast.AddSample(SimTime::Micros(40));
+    slow.AddSample(SimTime::Micros(200));
+  }
+  // ½*40 + ½*200 = 120us plus variance guard.
+  const SimTime rto = fast.SynthesizedRto(slow);
+  EXPECT_GE(rto, SimTime::Micros(120));
+  EXPECT_LT(rto, SimTime::Micros(200));
+  // Synthesizing against itself reduces to the plain formula's scale.
+  EXPECT_LT(fast.SynthesizedRto(fast), SimTime::Micros(60));
+}
+
+TEST(RttEstimator, SynthesizedRtoWithoutSlowSamplesFallsBack) {
+  RttEstimator fast, empty;
+  for (int i = 0; i < 10; ++i) fast.AddSample(SimTime::Micros(40));
+  EXPECT_EQ(fast.SynthesizedRto(empty), fast.SynthesizedRto(fast));
+}
+
+// ---------------------------------------------------------------------------
+// TdnManager RTT plumbing
+// ---------------------------------------------------------------------------
+
+TEST(TdnManager, SlowestRttSelection) {
+  TdnManager mgr(3, [] { return MakeReno(); }, RttEstimator::Config{}, 10);
+  for (int i = 0; i < 50; ++i) {
+    mgr.state(0).rtt.AddSample(SimTime::Micros(100));
+    mgr.state(1).rtt.AddSample(SimTime::Micros(40));
+    mgr.state(2).rtt.AddSample(SimTime::Micros(150));
+  }
+  EXPECT_EQ(&mgr.SlowestRtt(0), &mgr.state(2).rtt);
+}
+
+TEST(TdnManager, SlowestRttIgnoresEmptyEstimators) {
+  TdnManager mgr(2, [] { return MakeReno(); }, RttEstimator::Config{}, 10);
+  for (int i = 0; i < 50; ++i) mgr.state(0).rtt.AddSample(SimTime::Micros(40));
+  EXPECT_EQ(&mgr.SlowestRtt(0), &mgr.state(0).rtt);
+}
+
+TEST(TdnManager, RtoForSynthesizedVsPlain) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = SimTime::Micros(10);
+  TdnManager mgr(2, [] { return MakeReno(); }, cfg, 10);
+  for (int i = 0; i < 300; ++i) {
+    mgr.state(0).rtt.AddSample(SimTime::Micros(200));
+    mgr.state(1).rtt.AddSample(SimTime::Micros(40));
+  }
+  // Plain RTO for the fast TDN is small; synthesized is pessimistic.
+  EXPECT_LT(mgr.RtoFor(1, false), SimTime::Micros(80));
+  EXPECT_GE(mgr.RtoFor(1, true), SimTime::Micros(120));
+}
+
+}  // namespace
+}  // namespace tdtcp

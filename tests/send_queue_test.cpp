@@ -1,0 +1,118 @@
+// Sender retransmission queue / SACK scoreboard.
+#include <gtest/gtest.h>
+
+#include "tcp/send_queue.hpp"
+
+namespace tdtcp {
+namespace {
+
+TxSegment Seg(std::uint64_t seq, std::uint32_t len, TdnId tdn = 0) {
+  TxSegment s;
+  s.seq = seq;
+  s.len = len;
+  s.tdn = tdn;
+  return s;
+}
+
+TEST(SendQueue, AppendAndFront) {
+  SendQueue q;
+  EXPECT_TRUE(q.Empty());
+  q.Append(Seg(1, 100));
+  q.Append(Seg(101, 100));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front().seq, 1u);
+}
+
+TEST(SendQueue, AckThroughRemovesCovered) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  q.Append(Seg(101, 100));
+  q.Append(Seg(201, 100));
+  std::vector<std::uint64_t> acked;
+  q.AckThrough(201, [&](const TxSegment& s) { acked.push_back(s.seq); });
+  EXPECT_EQ(acked, (std::vector<std::uint64_t>{1, 101}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front().seq, 201u);
+}
+
+TEST(SendQueue, AckThroughPartialCoverageKeepsSegment) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  int called = 0;
+  q.AckThrough(50, [&](const TxSegment&) { ++called; });
+  EXPECT_EQ(called, 0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SendQueue, ApplySackMarksFullyCovered) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  q.Append(Seg(101, 100));
+  q.Append(Seg(201, 100));
+  SackBlock blocks[] = {{101, 201}};
+  const auto newly = q.ApplySack(blocks, [](TxSegment&) {});
+  EXPECT_EQ(newly, 1u);
+  EXPECT_FALSE(q.segments()[0].sacked);
+  EXPECT_TRUE(q.segments()[1].sacked);
+  EXPECT_FALSE(q.segments()[2].sacked);
+  EXPECT_EQ(q.highest_sacked(), 201u);
+}
+
+TEST(SendQueue, ApplySackIgnoresPartialCoverage) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  SackBlock blocks[] = {{1, 50}};
+  EXPECT_EQ(q.ApplySack(blocks, [](TxSegment&) {}), 0u);
+  EXPECT_FALSE(q.segments()[0].sacked);
+}
+
+TEST(SendQueue, ApplySackIdempotent) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  SackBlock blocks[] = {{1, 101}};
+  EXPECT_EQ(q.ApplySack(blocks, [](TxSegment&) {}), 1u);
+  EXPECT_EQ(q.ApplySack(blocks, [](TxSegment&) {}), 0u);  // already sacked
+}
+
+TEST(SendQueue, ApplySackMultipleBlocks) {
+  SendQueue q;
+  for (int i = 0; i < 6; ++i) q.Append(Seg(1 + i * 100, 100));
+  SackBlock blocks[] = {{101, 201}, {301, 501}};
+  EXPECT_EQ(q.ApplySack(blocks, [](TxSegment&) {}), 3u);
+  EXPECT_EQ(q.highest_sacked(), 501u);
+}
+
+TEST(SendQueue, FindLocatesCoveringSegment) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  q.Append(Seg(101, 100));
+  EXPECT_EQ(q.Find(150)->seq, 101u);
+  EXPECT_EQ(q.Find(1)->seq, 1u);
+  EXPECT_EQ(q.Find(100)->seq, 1u);   // last byte of first segment
+  EXPECT_EQ(q.Find(201), nullptr);   // past the end
+}
+
+TEST(SendQueue, FlagCounters) {
+  SendQueue q;
+  q.Append(Seg(1, 100));
+  q.Append(Seg(101, 100));
+  q.Append(Seg(201, 100));
+  q.segments()[0].lost = true;
+  q.segments()[1].sacked = true;
+  q.segments()[2].retrans = true;
+  EXPECT_EQ(q.CountLost(), 1u);
+  EXPECT_EQ(q.CountSacked(), 1u);
+  EXPECT_EQ(q.CountRetrans(), 1u);
+}
+
+TEST(SendQueue, PerSegmentTdnTagsPreserved) {
+  SendQueue q;
+  q.Append(Seg(1, 100, 0));
+  q.Append(Seg(101, 100, 1));
+  std::vector<TdnId> tdns;
+  q.AckThrough(201, [&](const TxSegment& s) { tdns.push_back(s.tdn); });
+  EXPECT_EQ(tdns, (std::vector<TdnId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace tdtcp

@@ -1,0 +1,220 @@
+// Simulator core: time arithmetic, event ordering, cancellation, clock
+// correctness (callbacks must observe their own event's time), determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace tdtcp {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(SimTime::Nanos(1).picos(), 1'000);
+  EXPECT_EQ(SimTime::Micros(1).nanos(), 1'000);
+  EXPECT_EQ(SimTime::Millis(1).micros(), 1'000);
+  EXPECT_EQ(SimTime::Seconds(1).millis(), 1'000);
+  EXPECT_DOUBLE_EQ(SimTime::Micros(2).seconds(), 2e-6);
+  EXPECT_DOUBLE_EQ(SimTime::MicrosF(1.5).micros_f(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::Micros(10);
+  const SimTime b = SimTime::Micros(4);
+  EXPECT_EQ((a + b).micros(), 14);
+  EXPECT_EQ((a - b).micros(), 6);
+  EXPECT_EQ((a * 3).micros(), 30);
+  EXPECT_EQ((a / 2).micros(), 5);
+  EXPECT_EQ(a / b, 2);
+  EXPECT_EQ((a % b).micros(), 2);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE(SimTime::Zero().IsZero());
+}
+
+TEST(SimTime, TransmissionTimeExact) {
+  // 1500 bytes at 100 Gbps = 120 ns exactly.
+  EXPECT_EQ(TransmissionTime(1500, 100'000'000'000).nanos(), 120);
+  // 9000 bytes at 10 Gbps = 7.2 us.
+  EXPECT_EQ(TransmissionTime(9000, 10'000'000'000).nanos(), 7200);
+  // One byte at 1 bps = 8 seconds.
+  EXPECT_EQ(TransmissionTime(1, 1).picos(), 8'000'000'000'000);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::Micros(3).ToString(), "3us");
+  EXPECT_EQ(SimTime::Nanos(5).ToString(), "5ns");
+  EXPECT_EQ(SimTime::Picos(7).ToString(), "7ps");
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime::Micros(3), [&] { order.push_back(3); });
+  q.Schedule(SimTime::Micros(1), [&] { order.push_back(1); });
+  q.Schedule(SimTime::Micros(2), [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    auto ev = q.PopNext();
+    ev.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(SimTime::Micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) q.PopNext().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(SimTime::Micros(1), [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.Cancel(id);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.NextTime(), SimTime::Max());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelFiredIdIsNoOp) {
+  EventQueue q;
+  EventId id = q.Schedule(SimTime::Micros(1), [] {});
+  q.PopNext().fn();
+  q.Cancel(id);  // already fired
+  q.Cancel(kInvalidEventId);
+  q.Cancel(9999);  // never existed
+  q.Schedule(SimTime::Micros(2), [] {});
+  EXPECT_EQ(q.size(), 1u);  // count not corrupted
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(SimTime::Micros(1), [] {});
+  q.Schedule(SimTime::Micros(5), [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), SimTime::Micros(5));
+}
+
+TEST(Simulator, CallbackSeesItsOwnEventTime) {
+  // Regression: callbacks must observe the event's time, not the previous
+  // event's — otherwise every relative schedule drifts early.
+  Simulator sim;
+  SimTime observed = SimTime::Zero();
+  sim.Schedule(SimTime::Micros(1), [] {});  // an earlier event
+  sim.Schedule(SimTime::Micros(10), [&] { observed = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(observed, SimTime::Micros(10));
+}
+
+TEST(Simulator, RelativeScheduleChainsExactly) {
+  // A self-rescheduling 200 us cycle must not drift over many iterations.
+  Simulator sim;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    if (fires < 1000) sim.Schedule(SimTime::Micros(200), tick);
+  };
+  sim.Schedule(SimTime::Micros(200), tick);
+  sim.Run();
+  EXPECT_EQ(fires, 1000);
+  EXPECT_EQ(sim.now(), SimTime::Micros(200'000));
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::Micros(5), [&] { ++fired; });
+  sim.Schedule(SimTime::Micros(15), [&] { ++fired; });
+  sim.RunUntil(SimTime::Micros(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::Micros(10));
+  sim.RunUntil(SimTime::Micros(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::Micros(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(SimTime::Micros(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::Micros(1), [&] {
+    order.push_back(1);
+    sim.Schedule(SimTime::Zero(), [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, CancelPendingTimer) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(SimTime::Micros(10), [&] { fired = true; });
+  sim.Schedule(SimTime::Micros(5), [&] { sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(Random, UniformIntWithinBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random r(1);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+}
+
+TEST(Random, LognormalTimePositiveAndScales) {
+  Random r(3);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = r.LognormalTime(SimTime::Micros(4), 0.7);
+    EXPECT_GT(t, SimTime::Zero());
+    sum += t.micros_f();
+  }
+  // Mean of lognormal(median m, sigma) = m * exp(sigma^2/2) ~ 5.1 us.
+  EXPECT_NEAR(sum / 2000.0, 5.1, 1.0);
+}
+
+TEST(Random, UniformTimeWithinRange) {
+  Random r(5);
+  for (int i = 0; i < 100; ++i) {
+    const SimTime t = r.UniformTime(SimTime::Micros(1), SimTime::Micros(2));
+    EXPECT_GE(t, SimTime::Micros(1));
+    EXPECT_LE(t, SimTime::Micros(2));
+  }
+}
+
+}  // namespace
+}  // namespace tdtcp
