@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bw_only.dir/bench_fig08_bw_only.cpp.o"
+  "CMakeFiles/bench_fig08_bw_only.dir/bench_fig08_bw_only.cpp.o.d"
+  "bench_fig08_bw_only"
+  "bench_fig08_bw_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bw_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_notification.dir/bench_fig11_notification.cpp.o"
+  "CMakeFiles/bench_fig11_notification.dir/bench_fig11_notification.cpp.o.d"
+  "bench_fig11_notification"
+  "bench_fig11_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_table.dir/bench_headline_table.cpp.o"
+  "CMakeFiles/bench_headline_table.dir/bench_headline_table.cpp.o.d"
+  "bench_headline_table"
+  "bench_headline_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operating_regime.dir/bench_operating_regime.cpp.o"
+  "CMakeFiles/bench_operating_regime.dir/bench_operating_regime.cpp.o.d"
+  "bench_operating_regime"
+  "bench_operating_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operating_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortflows.dir/bench_shortflows.cpp.o"
+  "CMakeFiles/bench_shortflows.dir/bench_shortflows.cpp.o.d"
+  "bench_shortflows"
+  "bench_shortflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

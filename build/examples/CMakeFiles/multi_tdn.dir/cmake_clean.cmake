@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tdn.dir/multi_tdn.cpp.o"
+  "CMakeFiles/multi_tdn.dir/multi_tdn.cpp.o.d"
+  "multi_tdn"
+  "multi_tdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdcn_compare.dir/rdcn_compare.cpp.o"
+  "CMakeFiles/rdcn_compare.dir/rdcn_compare.cpp.o.d"
+  "rdcn_compare"
+  "rdcn_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdcn_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

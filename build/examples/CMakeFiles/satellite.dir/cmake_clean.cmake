@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite.dir/satellite.cpp.o"
+  "CMakeFiles/satellite.dir/satellite.cpp.o.d"
+  "satellite"
+  "satellite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

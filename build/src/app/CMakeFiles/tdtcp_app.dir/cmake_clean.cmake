@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_app.dir/experiment.cpp.o"
+  "CMakeFiles/tdtcp_app.dir/experiment.cpp.o.d"
+  "CMakeFiles/tdtcp_app.dir/workload.cpp.o"
+  "CMakeFiles/tdtcp_app.dir/workload.cpp.o.d"
+  "libtdtcp_app.a"
+  "libtdtcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_mptcp.dir/mptcp_connection.cpp.o"
+  "CMakeFiles/tdtcp_mptcp.dir/mptcp_connection.cpp.o.d"
+  "libtdtcp_mptcp.a"
+  "libtdtcp_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

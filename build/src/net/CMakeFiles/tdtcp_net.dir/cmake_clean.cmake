@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_net.dir/fabric_port.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/fabric_port.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/host.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/host.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/link.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/link.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/packet.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/queue.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/queue.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/topology.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/topology.cpp.o.d"
+  "CMakeFiles/tdtcp_net.dir/tor_switch.cpp.o"
+  "CMakeFiles/tdtcp_net.dir/tor_switch.cpp.o.d"
+  "libtdtcp_net.a"
+  "libtdtcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

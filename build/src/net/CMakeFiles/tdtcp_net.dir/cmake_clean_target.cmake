@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdtcp_net.a"
+)

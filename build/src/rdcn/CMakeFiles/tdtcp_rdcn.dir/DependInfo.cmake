@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdcn/controller.cpp" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/controller.cpp.o" "gcc" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/controller.cpp.o.d"
+  "/root/repo/src/rdcn/rotor_controller.cpp" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/rotor_controller.cpp.o" "gcc" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/rotor_controller.cpp.o.d"
+  "/root/repo/src/rdcn/schedule.cpp" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/schedule.cpp.o" "gcc" "src/rdcn/CMakeFiles/tdtcp_rdcn.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tdtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_rdcn.dir/controller.cpp.o"
+  "CMakeFiles/tdtcp_rdcn.dir/controller.cpp.o.d"
+  "CMakeFiles/tdtcp_rdcn.dir/rotor_controller.cpp.o"
+  "CMakeFiles/tdtcp_rdcn.dir/rotor_controller.cpp.o.d"
+  "CMakeFiles/tdtcp_rdcn.dir/schedule.cpp.o"
+  "CMakeFiles/tdtcp_rdcn.dir/schedule.cpp.o.d"
+  "libtdtcp_rdcn.a"
+  "libtdtcp_rdcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_rdcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

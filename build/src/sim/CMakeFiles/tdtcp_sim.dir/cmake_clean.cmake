@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tdtcp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tdtcp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tdtcp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tdtcp_sim.dir/time.cpp.o"
+  "CMakeFiles/tdtcp_sim.dir/time.cpp.o.d"
+  "libtdtcp_sim.a"
+  "libtdtcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/cubic.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/cubic.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/cubic.cpp.o.d"
+  "/root/repo/src/cc/dctcp.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/dctcp.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/dctcp.cpp.o.d"
+  "/root/repo/src/cc/registry.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/registry.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/registry.cpp.o.d"
+  "/root/repo/src/cc/reno.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/reno.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/reno.cpp.o.d"
+  "/root/repo/src/cc/retcp.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/retcp.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/cc/retcp.cpp.o.d"
+  "/root/repo/src/tdtcp/tdn_manager.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/tdtcp/tdn_manager.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/__/tdtcp/tdn_manager.cpp.o.d"
+  "/root/repo/src/tcp/receive_buffer.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/receive_buffer.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/receive_buffer.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/rtt_estimator.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/send_queue.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/send_queue.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/send_queue.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/tcp_connection.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/tcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/types.cpp" "src/tcp/CMakeFiles/tdtcp_stack.dir/types.cpp.o" "gcc" "src/tcp/CMakeFiles/tdtcp_stack.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tdtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdtcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

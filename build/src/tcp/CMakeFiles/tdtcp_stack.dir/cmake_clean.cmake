@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_stack.dir/__/cc/cubic.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/cubic.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/dctcp.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/dctcp.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/registry.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/registry.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/reno.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/reno.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/retcp.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/cc/retcp.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/__/tdtcp/tdn_manager.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/__/tdtcp/tdn_manager.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/receive_buffer.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/receive_buffer.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/send_queue.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/send_queue.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/tcp_connection.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/tcp_connection.cpp.o.d"
+  "CMakeFiles/tdtcp_stack.dir/types.cpp.o"
+  "CMakeFiles/tdtcp_stack.dir/types.cpp.o.d"
+  "libtdtcp_stack.a"
+  "libtdtcp_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_trace.dir/flow_logger.cpp.o"
+  "CMakeFiles/tdtcp_trace.dir/flow_logger.cpp.o.d"
+  "CMakeFiles/tdtcp_trace.dir/samplers.cpp.o"
+  "CMakeFiles/tdtcp_trace.dir/samplers.cpp.o.d"
+  "libtdtcp_trace.a"
+  "libtdtcp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

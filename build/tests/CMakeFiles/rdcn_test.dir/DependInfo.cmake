@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rdcn_test.cpp" "tests/CMakeFiles/rdcn_test.dir/rdcn_test.cpp.o" "gcc" "tests/CMakeFiles/rdcn_test.dir/rdcn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/tdtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/tdtcp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdcn/CMakeFiles/tdtcp_rdcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tdtcp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tdtcp_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdcn_test.dir/rdcn_test.cpp.o"
+  "CMakeFiles/rdcn_test.dir/rdcn_test.cpp.o.d"
+  "rdcn_test"
+  "rdcn_test.pdb"
+  "rdcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_test.dir/rtt_test.cpp.o"
+  "CMakeFiles/rtt_test.dir/rtt_test.cpp.o.d"
+  "rtt_test"
+  "rtt_test.pdb"
+  "rtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/send_queue_test.dir/send_queue_test.cpp.o"
+  "CMakeFiles/send_queue_test.dir/send_queue_test.cpp.o.d"
+  "send_queue_test"
+  "send_queue_test.pdb"
+  "send_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/send_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

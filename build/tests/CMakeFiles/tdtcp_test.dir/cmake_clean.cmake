@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdtcp_test.dir/tdtcp_test.cpp.o"
+  "CMakeFiles/tdtcp_test.dir/tdtcp_test.cpp.o.d"
+  "tdtcp_test"
+  "tdtcp_test.pdb"
+  "tdtcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdtcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
