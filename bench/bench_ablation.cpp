@@ -12,7 +12,8 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  const int ms = args.duration_ms;
 
   struct Row {
     const char* name;
@@ -31,26 +32,32 @@ int main(int argc, char** argv) {
       {"+pacing", true, true, true, true, true},  // §5.2's burst mitigation
   };
 
+  // Rows are a custom axis (engine flags, not the standard grid), so they
+  // go to the pool as fully-resolved cases.
+  std::vector<SweepCase> cases;
+  for (const auto& row : rows) {
+    SweepCase c;
+    c.label = row.name;
+    c.config = PaperConfig(row.tdtcp ? Variant::kTdtcp : Variant::kCubic)
+                   .WithFlows(8)
+                   .WithDurationMs(ms);
+    c.config.workload.base.relaxed_reordering = row.relaxed;
+    c.config.workload.base.per_tdn_rtt = row.per_tdn_rtt;
+    c.config.workload.base.synthesized_rto = row.synth_rto;
+    c.config.workload.base.pacing_enabled = row.pacing;
+    cases.push_back(std::move(c));
+  }
+
   std::printf("TDTCP ablations (%d ms, 8 flows, paper RDCN config)\n\n", ms);
   std::printf("%-16s %10s %8s %8s %8s %8s\n", "config", "goodput", "rtx",
               "rto", "undo", "spur");
 
-  double full_bps = 0;
-  for (const auto& row : rows) {
-    ExperimentConfig cfg = PaperConfig(row.tdtcp ? Variant::kTdtcp
-                                                 : Variant::kCubic);
-    cfg.duration = SimTime::Millis(ms);
-    cfg.warmup = SimTime::Millis(ms / 8);
-    cfg.workload.num_flows = 8;
-    cfg.workload.base.relaxed_reordering = row.relaxed;
-    cfg.workload.base.per_tdn_rtt = row.per_tdn_rtt;
-    cfg.workload.base.synthesized_rto = row.synth_rto;
-    cfg.workload.base.pacing_enabled = row.pacing;
-    std::fprintf(stderr, "  running %s...\n", row.name);
-    ExperimentResult r = RunExperiment(cfg);
-    if (full_bps == 0) full_bps = r.goodput_bps;
+  const std::vector<ExperimentResult> results = RunCases(cases, args.jobs);
+  const double full_bps = results.front().goodput_bps;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const ExperimentResult& r = results[i];
     std::printf("%-16s %7.2f Gb %8llu %8llu %8llu %8llu   (%+.1f%% vs full)\n",
-                row.name, r.goodput_bps / 1e9,
+                cases[i].label.c_str(), r.goodput_bps / 1e9,
                 static_cast<unsigned long long>(r.retransmissions),
                 static_cast<unsigned long long>(r.timeouts),
                 static_cast<unsigned long long>(r.undo_events),

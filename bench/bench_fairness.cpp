@@ -73,7 +73,8 @@ FairnessResult MeasureFairness(Variant v, int ms, int flows, bool rdcn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 120);
+  const BenchArgs args = ParseBenchArgs(argc, argv, 120);
+  const int ms = args.duration_ms;
   const int flows = 8;
 
   std::printf("Fairness across %d competing flows (%d ms, Jain's index; "
@@ -83,14 +84,24 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %28s | %18s\n", "", "--------- RDCN ----------",
               "-- static pkt --");
 
-  for (Variant v : {Variant::kTdtcp, Variant::kCubic, Variant::kDctcp,
-                    Variant::kRetcpDyn}) {
-    std::fprintf(stderr, "  running %s...\n", VariantName(v));
-    FairnessResult rdcn = MeasureFairness(v, ms, flows, true);
-    FairnessResult ctrl = MeasureFairness(v, ms, flows, false);
-    std::printf("%-10s | %8.3f %9.2f %10.2f | %8.3f %9.2f\n", VariantName(v),
-                rdcn.jain, rdcn.max_min_ratio, rdcn.aggregate_gbps,
-                ctrl.jain, ctrl.max_min_ratio);
+  // Each (variant, network) measurement owns a private Simulator, so the
+  // pairs fan out on the shared pool.
+  const std::vector<Variant> variants = {Variant::kTdtcp, Variant::kCubic,
+                                         Variant::kDctcp, Variant::kRetcpDyn};
+  std::vector<FairnessResult> rdcn(variants.size()), ctrl(variants.size());
+  ParallelFor(args.jobs, variants.size() * 2, [&](std::size_t i) {
+    const Variant v = variants[i / 2];
+    if (i % 2 == 0) {
+      rdcn[i / 2] = MeasureFairness(v, ms, flows, true);
+    } else {
+      ctrl[i / 2] = MeasureFairness(v, ms, flows, false);
+    }
+  });
+
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::printf("%-10s | %8.3f %9.2f %10.2f | %8.3f %9.2f\n",
+                VariantName(variants[i]), rdcn[i].jain, rdcn[i].max_min_ratio,
+                rdcn[i].aggregate_gbps, ctrl[i].jain, ctrl[i].max_min_ratio);
   }
   std::printf("\nexpectation (§3.5): per-TDN CCAs inherit their single-path "
               "siblings' fairness;\nshort-term anomalies possible in the "

@@ -11,17 +11,15 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  const ExperimentConfig base =
+      PaperConfig(Variant::kCubic).WithFlows(8).WithDurationMs(args.duration_ms);
 
   std::printf("Figure 2: TCP variants in a hybrid RDCN (3 optical weeks, "
-              "%d ms averaged)\n", ms);
+              "%d ms averaged)\n", args.duration_ms);
   std::printf("optical day = [1200,1380)us of each 1400us week\n");
 
-  auto runs = RunVariants({Variant::kCubic, Variant::kMptcp}, base);
+  auto runs = RunVariants({Variant::kCubic, Variant::kMptcp}, base, args);
   auto series = SeqSeries(runs);
   PrintSeqTable(series, 100.0);
 

@@ -10,20 +10,19 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  const ExperimentConfig base =
+      PaperConfig(Variant::kCubic).WithFlows(8).WithDurationMs(args.duration_ms);
 
   std::printf("Figure 7: bandwidth + latency difference "
-              "(packet 10G/~100us, optical 100G/~40us), %d ms averaged\n", ms);
+              "(packet 10G/~100us, optical 100G/~40us), %d ms averaged\n",
+              args.duration_ms);
 
   const std::vector<Variant> variants = {
       Variant::kTdtcp, Variant::kRetcpDyn, Variant::kRetcp,
       Variant::kDctcp, Variant::kCubic,    Variant::kMptcp,
   };
-  auto runs = RunVariants(variants, base);
+  auto runs = RunVariants(variants, base, args);
 
   std::printf("\n--- (a) expected TCP sequence number ---\n");
   auto seq = SeqSeries(runs);

@@ -10,24 +10,23 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  ExperimentConfig base =
+      PaperConfig(Variant::kCubic).WithFlows(8).WithDurationMs(args.duration_ms);
   // Equalize latency at the optical propagation (~40us RTT for both): with
   // the latency difference removed, single-path TCP's window suffices for
   // both TDNs' BDPs and it adapts to the bandwidth change alone.
   base.topology.packet_mode.propagation = base.topology.circuit_mode.propagation;
 
   std::printf("Figure 8: bandwidth difference only "
-              "(10G vs 100G, equal ~40us RTT), %d ms averaged\n", ms);
+              "(10G vs 100G, equal ~40us RTT), %d ms averaged\n",
+              args.duration_ms);
 
   const std::vector<Variant> variants = {
       Variant::kTdtcp, Variant::kRetcpDyn, Variant::kRetcp,
       Variant::kDctcp, Variant::kCubic,    Variant::kMptcp,
   };
-  auto runs = RunVariants(variants, base);
+  auto runs = RunVariants(variants, base, args);
 
   std::printf("\n--- (a) expected TCP sequence number ---\n");
   auto seq = SeqSeries(runs);

@@ -11,23 +11,21 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  ExperimentConfig base =
+      PaperConfig(Variant::kCubic).WithFlows(8).WithDurationMs(args.duration_ms);
   // Both TDNs at 100 Gbps; only latency differs.
   base.topology.packet_mode.rate_bps = 100'000'000'000;
   // At 100G the BDP is ~140 jumbo segments; keep the paper's 16-packet VOQ.
 
   std::printf("Figure 9: latency difference only at 100 Gbps "
-              "(~100us vs ~40us RTT), %d ms averaged\n", ms);
+              "(~100us vs ~40us RTT), %d ms averaged\n", args.duration_ms);
 
   const std::vector<Variant> variants = {
       Variant::kTdtcp, Variant::kRetcpDyn, Variant::kRetcp,
       Variant::kDctcp, Variant::kCubic,    Variant::kMptcp,
   };
-  auto runs = RunVariants(variants, base);
+  auto runs = RunVariants(variants, base, args);
 
   auto seq = SeqSeries(runs);
   PrintSeqTable(seq, 100.0);

@@ -38,11 +38,12 @@ void PrintCdf(const char* title, const std::vector<VariantRun>& runs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 150);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 10);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 150);
+  const int ms = args.duration_ms;
+  ExperimentConfig base = PaperConfig(Variant::kCubic)
+                              .WithFlows(8)
+                              .WithDuration(SimTime::Millis(ms))
+                              .WithWarmup(SimTime::Millis(ms / 10));
   base.topology.fabric_reorder_jitter = SimTime::Micros(2);
 
   std::printf("Figure 10: reordering and spurious retransmissions per "
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
               static_cast<int>(ms * 1000 / 1400));
 
   auto runs = RunVariants({Variant::kCubic, Variant::kMptcp, Variant::kTdtcp},
-                          base);
+                          base, args);
 
   PrintCdf("(a) reordering events per optical day", runs, nullptr,
            [](const ExperimentResult& r) { return r.reorder_events_per_day; });

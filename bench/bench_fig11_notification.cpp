@@ -19,11 +19,10 @@ using namespace tdtcp::bench;
 namespace {
 
 ExperimentConfig NotifyConfig(int ms, bool optimized) {
-  ExperimentConfig cfg = PaperConfig(Variant::kTdtcp);
-  cfg.duration = SimTime::Millis(ms);
-  cfg.warmup = SimTime::Millis(ms / 8);
-  cfg.workload.num_flows = 16;  // all rack hosts: the per-host generation
-                                // loop and push walk hit the tail flows
+  // All rack hosts: the per-host generation loop and push walk hit the
+  // tail flows.
+  ExperimentConfig cfg =
+      PaperConfig(Variant::kTdtcp).WithFlows(16).WithDurationMs(ms);
   if (!optimized) {
     cfg.topology.notify.cached_packet = false;       // fresh construction
     cfg.topology.notify.via_control_network = false; // data-plane ICMP
@@ -68,16 +67,18 @@ void GenerationLatencyMicrobench() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  const int ms = args.duration_ms;
 
   std::printf("Figure 11 / §5.4: TDN change notification optimizations\n");
 
-  ExperimentConfig opt_cfg = NotifyConfig(ms, true);
-  ExperimentConfig unopt_cfg = NotifyConfig(ms, false);
-  std::fprintf(stderr, "  running optimized...\n");
-  ExperimentResult optimized = RunExperiment(opt_cfg);
-  std::fprintf(stderr, "  running unoptimized...\n");
-  ExperimentResult unoptimized = RunExperiment(unopt_cfg);
+  const std::vector<SweepCase> cases = {
+      {"optimized", NotifyConfig(ms, true)},
+      {"unoptimized", NotifyConfig(ms, false)},
+  };
+  std::vector<ExperimentResult> results = RunCases(cases, args.jobs);
+  const ExperimentResult& optimized = results[0];
+  const ExperimentResult& unoptimized = results[1];
 
   std::vector<NamedSeries> series = {
       {"optimal", optimized.optimal_curve},

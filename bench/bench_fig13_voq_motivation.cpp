@@ -10,16 +10,14 @@ using namespace tdtcp;
 using namespace tdtcp::bench;
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 80);
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+  const BenchArgs args = ParseBenchArgs(argc, argv, 80);
+  const ExperimentConfig base =
+      PaperConfig(Variant::kCubic).WithFlows(8).WithDurationMs(args.duration_ms);
 
   std::printf("Figure 13 (A.3): ToR VOQ occupancy, motivation config, "
-              "%d ms averaged\n", ms);
+              "%d ms averaged\n", args.duration_ms);
 
-  auto runs = RunVariants({Variant::kCubic, Variant::kMptcp}, base);
+  auto runs = RunVariants({Variant::kCubic, Variant::kMptcp}, base, args);
   auto voq = VoqSeries(runs);
   PrintSeqTable(voq, 50.0, "packets");
 

@@ -12,11 +12,10 @@ using namespace tdtcp::bench;
 
 namespace {
 
-void RunAtRate(std::uint64_t rate_bps, int ms, const char* csv) {
-  ExperimentConfig base = PaperConfig(Variant::kCubic);
-  base.duration = SimTime::Millis(ms);
-  base.warmup = SimTime::Millis(ms / 8);
-  base.workload.num_flows = 8;
+void RunAtRate(std::uint64_t rate_bps, const BenchArgs& args, const char* csv) {
+  ExperimentConfig base = PaperConfig(Variant::kCubic)
+                              .WithFlows(8)
+                              .WithDurationMs(args.duration_ms);
   base.topology.packet_mode.rate_bps = rate_bps;
   base.topology.circuit_mode.rate_bps = rate_bps;
   // A.4: packet RTT 20us, optical RTT 10us.
@@ -28,7 +27,7 @@ void RunAtRate(std::uint64_t rate_bps, int ms, const char* csv) {
       Variant::kRetcpDyn, Variant::kTdtcp, Variant::kRetcp,
       Variant::kDctcp,    Variant::kCubic, Variant::kMptcp,
   };
-  auto runs = RunVariants(variants, base);
+  auto runs = RunVariants(variants, base, args);
   auto voq = VoqSeries(runs);
   PrintSeqTable(voq, 50.0, "packets");
 
@@ -47,11 +46,14 @@ void RunAtRate(std::uint64_t rate_bps, int ms, const char* csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int ms = DurationMsFromArgs(argc, argv, 60);
+  BenchArgs args = ParseBenchArgs(argc, argv, 60);
   std::printf("Figure 14 (A.4): VOQ occupancy, latency-only difference "
               "(RTT 20us vs 10us)\n");
-  RunAtRate(10'000'000'000, ms, "fig14a_voq_10g.csv");
-  RunAtRate(100'000'000'000, ms, "fig14b_voq_100g.csv");
+  const std::string out = args.out;
+  if (!out.empty()) args.out = out + "_10g";
+  RunAtRate(10'000'000'000, args, "fig14a_voq_10g.csv");
+  if (!out.empty()) args.out = out + "_100g";
+  RunAtRate(100'000'000'000, args, "fig14b_voq_100g.csv");
   std::printf("\nwrote fig14a_voq_10g.csv, fig14b_voq_100g.csv\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "app/experiment.hpp"
+#include "app/sweep.hpp"
 #include "cc/registry.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -77,19 +78,42 @@ BENCHMARK(BM_HundredGbpsTransfer)->Unit(benchmark::kMillisecond);
 // reconfigurations under load.
 void BM_RdcnWeekTdtcp(benchmark::State& state) {
   for (auto _ : state) {
-    ExperimentConfig cfg = PaperConfig(Variant::kTdtcp);
-    cfg.duration = SimTime::Micros(2800);  // two weeks
-    cfg.warmup = SimTime::Micros(1400);
-    cfg.workload.num_flows = 8;
-    cfg.sample_voq = false;
-    cfg.sample_reorder = false;
-    cfg.sample_interval = SimTime::Micros(100);
-    ExperimentResult r = RunExperiment(cfg, 1);
+    ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                               .WithFlows(8)
+                               .WithDuration(SimTime::Micros(2800))  // 2 weeks
+                               .WithWarmup(SimTime::Micros(1400))
+                               .WithSampling(false, false)
+                               .WithSampleInterval(SimTime::Micros(100))
+                               .WithPlotWeeks(1);
+    ExperimentResult r = RunExperiment(cfg);
     benchmark::DoNotOptimize(r.total_bytes);
   }
   state.SetLabel("two 1400us weeks, 8 flows, 14 reconfigurations");
 }
 BENCHMARK(BM_RdcnWeekTdtcp)->Unit(benchmark::kMillisecond);
+
+// Sweep-engine scaling: the same 4-cell grid at jobs=1 vs jobs=N. On a
+// multi-core machine the jobs=N time should approach time/cores.
+void BM_SweepGrid(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SweepSpec spec;
+    spec.base = PaperConfig(Variant::kTdtcp)
+                    .WithFlows(4)
+                    .WithDuration(SimTime::Micros(2800))
+                    .WithWarmup(SimTime::Micros(1400))
+                    .WithSampling(false, false)
+                    .WithSampleInterval(SimTime::Micros(100))
+                    .WithPlotWeeks(1);
+    spec.variants = {Variant::kTdtcp, Variant::kCubic};
+    spec.seeds = {1, 2};
+    spec.jobs = jobs;
+    SweepResult r = RunSweep(spec);
+    benchmark::DoNotOptimize(r.cells.size());
+  }
+  state.SetLabel("2 variants x 2 seeds");
+}
+BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 // ACK-processing hot path: SACK scoreboard + per-TDN accounting.
 void BM_AckProcessing(benchmark::State& state) {

@@ -100,7 +100,8 @@ void Report(const char* name, const FctStats& s, int flows_total) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int flows = DurationMsFromArgs(argc, argv, 70);  // reuse arg as count
+  const BenchArgs args = ParseBenchArgs(argc, argv, 70);
+  const int flows = args.duration_ms;  // legacy: positional arg is the count
   const std::uint64_t kFlowBytes = 20 * 8940;  // ~180 KB: a few RTTs
 
   std::printf("Short-flow completion times (%llu KB transfers, %d flows "
@@ -108,14 +109,26 @@ int main(int argc, char** argv) {
               "traffic):\n\n",
               static_cast<unsigned long long>(kFlowBytes / 1000), flows);
 
-  auto cubic = MeasureShortFlows(Variant::kCubic, 10, kFlowBytes, flows);
-  Report("cubic iw10", cubic, flows);
-  auto tdtcp = MeasureShortFlows(Variant::kTdtcp, 10, kFlowBytes, flows);
-  Report("tdtcp iw10", tdtcp, flows);
-  auto cubic40 = MeasureShortFlows(Variant::kCubic, 40, kFlowBytes, flows);
-  Report("cubic iw40", cubic40, flows);
-  auto tdtcp40 = MeasureShortFlows(Variant::kTdtcp, 40, kFlowBytes, flows);
-  Report("tdtcp iw40", tdtcp40, flows);
+  // Four independent measurements (private Simulator each) on the pool.
+  struct Setup {
+    const char* name;
+    Variant variant;
+    std::uint32_t iw;
+  };
+  const std::vector<Setup> setups = {
+      {"cubic iw10", Variant::kCubic, 10},
+      {"tdtcp iw10", Variant::kTdtcp, 10},
+      {"cubic iw40", Variant::kCubic, 40},
+      {"tdtcp iw40", Variant::kTdtcp, 40},
+  };
+  std::vector<FctStats> stats(setups.size());
+  ParallelFor(args.jobs, setups.size(), [&](std::size_t i) {
+    stats[i] = MeasureShortFlows(setups[i].variant, setups[i].iw, kFlowBytes,
+                                 flows);
+  });
+  for (std::size_t i = 0; i < setups.size(); ++i) {
+    Report(setups[i].name, stats[i], flows);
+  }
 
   std::printf("\nexpectation (§5.1): TDTCP is roughly FCT-neutral for short "
               "flows; a larger initial\ncwnd helps them more than per-TDN "

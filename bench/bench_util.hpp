@@ -1,52 +1,123 @@
-// Shared bench harness: runs paper-configured experiments for a set of
-// variants, prints the same rows/series the paper plots, and writes CSVs
-// next to the binary.
+// Shared bench harness, a thin layer over the sweep engine (app/sweep.hpp):
+// benches declare a base config and a variant list, and the engine runs the
+// (variant x seed) grid on a thread pool, aggregates across seeds, and
+// emits versioned JSON/CSV through app/result_io.hpp.
 //
-// Every bench accepts an optional duration override:
-//     ./bench_fig07_bw_latency [duration_ms]
-// Longer runs average more optical weeks (the paper averages thousands);
-// defaults keep each bench in the seconds range.
+// Every bench accepts the shared flags
+//     ./bench_xxx [duration_ms] [--duration-ms=D] [--jobs=N] [--seeds=K]
+//                 [--out=path]
+// --jobs=0 (the default) uses one worker per hardware thread; results are
+// bit-identical at any job count. --seeds=K averages K deterministic seeds
+// per configuration and reports mean +/- 95% CI. Longer durations average
+// more optical weeks per seed (the paper averages thousands). --out=path
+// writes path.json (schema tdtcp-sweep/1) and path.csv next to the figure
+// CSVs.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "app/experiment.hpp"
+#include "app/result_io.hpp"
+#include "app/sweep.hpp"
 #include "trace/samplers.hpp"
 
 namespace tdtcp::bench {
 
-inline int DurationMsFromArgs(int argc, char** argv, int def_ms) {
-  if (argc > 1) {
-    const int ms = std::atoi(argv[1]);
-    if (ms > 0) return ms;
+struct BenchArgs {
+  int duration_ms = 0;
+  int jobs = 0;       // 0 = hardware concurrency
+  int seeds = 1;      // seeds 1..K per configuration point
+  std::string out;    // base path for sweep JSON/CSV ("" = don't write)
+
+  std::vector<std::uint64_t> SeedList() const {
+    std::vector<std::uint64_t> s;
+    for (int i = 1; i <= seeds; ++i) s.push_back(static_cast<std::uint64_t>(i));
+    return s;
   }
-  return def_ms;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
+  BenchArgs args;
+  args.duration_ms = default_ms;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--duration-ms=", 14) == 0) {
+      args.duration_ms = std::atoi(a + 14);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      args.jobs = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--seeds=", 8) == 0) {
+      args.seeds = std::max(1, std::atoi(a + 8));
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      args.out = a + 6;
+    } else if (a[0] != '-' && std::atoi(a) > 0) {
+      args.duration_ms = std::atoi(a);  // legacy positional [duration_ms]
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [duration_ms] [--duration-ms=D] [--jobs=N] "
+                   "[--seeds=K] [--out=path]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.duration_ms <= 0) args.duration_ms = default_ms;
+  return args;
 }
 
 struct VariantRun {
   Variant variant;
-  ExperimentResult result;
+  ExperimentResult result;  // first seed's run (curves and series)
+  std::vector<std::pair<std::string, MetricStats>> stats;  // across seeds
+
+  const MetricStats* stat(const std::string& name) const {
+    for (const auto& [n, s] : stats) {
+      if (n == name) return &s;
+    }
+    return nullptr;
+  }
 };
 
-// Runs each variant under `base` (variant-specific knobs from PaperConfig
-// are re-applied on top).
+// Writes the full sweep (per-seed metrics + aggregates) when --out given.
+inline void MaybeWriteSweep(const BenchArgs& args, const SweepResult& sweep) {
+  if (args.out.empty()) return;
+  try {
+    WriteSweepJson(args.out + ".json", sweep);
+    WriteSweepCsv(args.out + ".csv", sweep);
+  } catch (const std::exception& e) {
+    // The results are already printed; a bad --out path shouldn't abort.
+    std::fprintf(stderr, "  --out failed: %s\n", e.what());
+    return;
+  }
+  std::fprintf(stderr, "  wrote %s.json, %s.csv (schema %s)\n",
+               args.out.c_str(), args.out.c_str(), kSweepSchemaVersion);
+}
+
+// Runs each variant under `base` on the sweep engine's thread pool,
+// averaging args.seeds seeds per variant. Duration/warmup come from `base`
+// (set them via WithDurationMs(args.duration_ms) or explicitly).
 inline std::vector<VariantRun> RunVariants(const std::vector<Variant>& variants,
                                            const ExperimentConfig& base,
-                                           int plot_weeks = 3) {
+                                           const BenchArgs& args) {
+  SweepSpec spec;
+  spec.base = base;
+  spec.variants = variants;
+  spec.seeds = args.SeedList();
+  spec.jobs = args.jobs;
+
+  std::fprintf(stderr, "  sweep: %zu variants x %d seed%s, jobs=%d...\n",
+               variants.size(), args.seeds, args.seeds == 1 ? "" : "s",
+               ResolveJobs(args.jobs));
+  SweepResult sweep = RunSweep(spec);
+  std::fprintf(stderr, "  done in %.2fs wall\n", sweep.wall_seconds);
+  MaybeWriteSweep(args, sweep);
+
   std::vector<VariantRun> out;
-  for (Variant v : variants) {
-    ExperimentConfig cfg = base;
-    cfg.workload.variant = v;
-    cfg.workload.base.tdtcp_enabled = false;
-    cfg.workload.base.num_tdns = 1;
-    cfg.topology.voq.ecn_threshold_packets =
-        PaperConfig(v).topology.voq.ecn_threshold_packets;
-    cfg.dynamic_voq = (v == Variant::kRetcpDyn);
-    std::fprintf(stderr, "  running %s...\n", VariantName(v));
-    out.push_back(VariantRun{v, RunExperiment(cfg, plot_weeks)});
+  for (SweepCell& cell : sweep.cells) {
+    out.push_back(VariantRun{cell.variant, std::move(cell.runs.front().result),
+                             std::move(cell.metrics)});
   }
   return out;
 }
@@ -87,15 +158,19 @@ inline double CurveAt(const std::vector<FoldedPoint>& curve, double offset_us) {
 
 inline void PrintGoodputSummary(const std::vector<VariantRun>& runs,
                                 double optimal_bps, double packet_only_bps) {
-  std::printf("\n%-10s %10s %8s %8s\n", "variant", "goodput", "of-opt",
-              "vs-pkt");
+  const bool ci = !runs.empty() && runs.front().stat("goodput_bps") &&
+                  runs.front().stat("goodput_bps")->n > 1;
+  std::printf("\n%-10s %10s %8s %8s%s\n", "variant", "goodput", "of-opt",
+              "vs-pkt", ci ? "    ci95" : "");
   std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", "optimal", optimal_bps / 1e9,
               100.0, optimal_bps / packet_only_bps);
   for (const auto& r : runs) {
-    std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", VariantName(r.variant),
-                r.result.goodput_bps / 1e9,
-                100.0 * r.result.goodput_bps / optimal_bps,
-                r.result.goodput_bps / packet_only_bps);
+    const MetricStats* g = r.stat("goodput_bps");
+    const double bps = g ? g->mean : r.result.goodput_bps;
+    std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx", VariantName(r.variant),
+                bps / 1e9, 100.0 * bps / optimal_bps, bps / packet_only_bps);
+    if (ci && g) std::printf("  +-%.2f Gb", g->ci95 / 1e9);
+    std::printf("\n");
   }
   std::printf("%-10s %7.2f Gb %7.1f%% %7.2fx\n", "pkt-only",
               packet_only_bps / 1e9, 100.0 * packet_only_bps / optimal_bps,

@@ -13,10 +13,10 @@
 using namespace tdtcp;
 
 int main() {
-  ExperimentConfig cfg = PaperConfig(Variant::kTdtcp);
-  cfg.workload.num_flows = 1;
-  cfg.duration = SimTime::Millis(50);
-  cfg.warmup = SimTime::Millis(5);
+  ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                             .WithFlows(1)
+                             .WithDuration(SimTime::Millis(50))
+                             .WithWarmup(SimTime::Millis(5));
 
   std::printf("Running one TDTCP flow for %lld ms of simulated time...\n",
               static_cast<long long>(cfg.duration.millis()));

@@ -7,9 +7,23 @@
 
 namespace tdtcp {
 
+ExperimentConfig& ExperimentConfig::WithVariant(Variant v) {
+  workload.variant = v;
+  // Reset engine state a previous variant may have left behind so any
+  // variant derives cleanly from any base (the workload layer re-enables
+  // TDTCP/MPTCP machinery from `variant`).
+  workload.base.tdtcp_enabled = false;
+  workload.base.num_tdns = 1;
+  // DCTCP marks at a shallow threshold (half the VOQ with jumbo frames);
+  // everything else never marks.
+  topology.voq.ecn_threshold_packets =
+      v == Variant::kDctcp ? 12 : std::numeric_limits<std::uint32_t>::max();
+  dynamic_voq = (v == Variant::kRetcpDyn);
+  return *this;
+}
+
 ExperimentConfig PaperConfig(Variant v) {
   ExperimentConfig cfg;
-  cfg.workload.variant = v;
   cfg.workload.num_flows = 8;
   cfg.topology.hosts_per_rack = 16;
 
@@ -17,18 +31,11 @@ ExperimentConfig PaperConfig(Variant v) {
   cfg.workload.base.mss = 8940;
   cfg.workload.base.initial_cwnd = 10;
 
-  // DCTCP marks at a shallow threshold (half the VOQ with jumbo frames);
-  // everything else never marks.
-  if (v == Variant::kDctcp) {
-    cfg.topology.voq.ecn_threshold_packets = 12;
-  }
-  if (v == Variant::kRetcpDyn) {
-    cfg.dynamic_voq = true;
-  }
-  return cfg;
+  return cfg.WithVariant(v);
 }
 
-ExperimentResult RunExperiment(const ExperimentConfig& config, int plot_weeks) {
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  const int plot_weeks = config.plot_weeks;
   Simulator sim;
   Random rng(config.seed);
 
@@ -193,9 +200,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, int plot_weeks) {
 }
 
 ExperimentResult RunPaperExperiment(Variant v, SimTime duration) {
-  ExperimentConfig cfg = PaperConfig(v);
-  cfg.duration = duration;
-  return RunExperiment(cfg);
+  return RunExperiment(PaperConfig(v).WithDuration(duration));
 }
 
 }  // namespace tdtcp

@@ -1,0 +1,416 @@
+#include "app/result_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace tdtcp {
+
+// --- JSON writing -----------------------------------------------------------
+
+namespace {
+
+// %.17g round-trips every finite double exactly.
+std::string NumberToJson(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendMetricStats(std::string& out, const MetricStats& s) {
+  out += "{\"mean\":" + NumberToJson(s.mean);
+  out += ",\"stddev\":" + NumberToJson(s.stddev);
+  out += ",\"ci95\":" + NumberToJson(s.ci95);
+  out += ",\"n\":" + NumberToJson(static_cast<double>(s.n)) + "}";
+}
+
+}  // namespace
+
+std::string SweepToJson(const SweepResult& sweep) {
+  std::string out;
+  out += "{\"schema\":\"";
+  out += kSweepSchemaVersion;
+  out += "\",\"jobs\":" + NumberToJson(sweep.jobs);
+  out += ",\"wall_seconds\":" + NumberToJson(sweep.wall_seconds);
+  out += ",\"cells\":[";
+  for (std::size_t c = 0; c < sweep.cells.size(); ++c) {
+    const SweepCell& cell = sweep.cells[c];
+    if (c) out += ",";
+    out += "{\"label\":\"" + EscapeJson(cell.label) + "\"";
+    out += ",\"variant\":\"" + EscapeJson(VariantName(cell.variant)) + "\"";
+    out += ",\"schedule\":\"" + EscapeJson(cell.schedule_label) + "\"";
+    out += ",\"duration_ps\":" +
+           NumberToJson(static_cast<double>(cell.duration.picos()));
+    out += ",\"duration_ms\":" + NumberToJson(cell.duration.millis_f());
+    out += ",\"runs\":[";
+    for (std::size_t r = 0; r < cell.runs.size(); ++r) {
+      const SweepRun& run = cell.runs[r];
+      if (r) out += ",";
+      out += "{\"seed\":" + NumberToJson(static_cast<double>(run.seed));
+      out += ",\"metrics\":{";
+      const auto metrics = ScalarMetrics(run.result);
+      for (std::size_t m = 0; m < metrics.size(); ++m) {
+        if (m) out += ",";
+        out += "\"" + EscapeJson(metrics[m].first) +
+               "\":" + NumberToJson(metrics[m].second);
+      }
+      out += "}}";
+    }
+    out += "],\"aggregates\":{";
+    for (std::size_t m = 0; m < cell.metrics.size(); ++m) {
+      if (m) out += ",";
+      out += "\"" + EscapeJson(cell.metrics[m].first) + "\":";
+      AppendMetricStats(out, cell.metrics[m].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void WriteSweepJson(const std::string& path, const SweepResult& sweep) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const std::string json = SweepToJson(sweep);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+// --- JSON parsing -----------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const char* what) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = ParseString();
+        return v;
+      }
+      case 't': ParseLiteral("true"); return MakeNumber(1);
+      case 'f': ParseLiteral("false"); return MakeNumber(0);
+      case 'n': ParseLiteral("null"); return JsonValue{};
+      default: return ParseNumber();
+    }
+  }
+
+  static JsonValue MakeNumber(double d) {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  void ParseLiteral(const char* lit) {
+    SkipSpace();
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) Fail("bad literal");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
+            out += static_cast<char>(
+                std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: Fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected number");
+    return MakeNumber(std::stod(text_.substr(start, pos_ - start)));
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = ParseString();
+      Expect(':');
+      v.object.emplace(std::move(key), ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double RequireNumber(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  if (!v || v->type != JsonValue::Type::kNumber) {
+    throw std::runtime_error("tdtcp-sweep: missing numeric field " + key);
+  }
+  return v->number;
+}
+
+// Applies a named scalar metric back onto an ExperimentResult, inverting
+// ScalarMetrics for the round-trip.
+void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
+  const auto u64 = [&] { return static_cast<std::uint64_t>(value); };
+  if (name == "goodput_bps") r.goodput_bps = value;
+  else if (name == "total_bytes") r.total_bytes = u64();
+  else if (name == "retransmissions") r.retransmissions = u64();
+  else if (name == "timeouts") r.timeouts = u64();
+  else if (name == "reorder_events") r.reorder_events = u64();
+  else if (name == "reorder_marked_lost") r.reorder_marked_lost = u64();
+  else if (name == "duplicate_segments") r.duplicate_segments = u64();
+  else if (name == "undo_events") r.undo_events = u64();
+  else if (name == "cross_tdn_exemptions") r.cross_tdn_exemptions = u64();
+  // Unknown metrics from a newer minor schema are ignored.
+}
+
+}  // namespace
+
+JsonValue ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+SweepResult SweepFromJson(const std::string& json) {
+  const JsonValue doc = ParseJson(json);
+  const JsonValue* schema = doc.Find("schema");
+  if (!schema || schema->string != kSweepSchemaVersion) {
+    throw std::runtime_error("tdtcp-sweep: unsupported schema");
+  }
+
+  SweepResult out;
+  out.jobs = static_cast<int>(RequireNumber(doc, "jobs"));
+  out.wall_seconds = RequireNumber(doc, "wall_seconds");
+
+  const JsonValue* cells = doc.Find("cells");
+  if (!cells || cells->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("tdtcp-sweep: missing cells");
+  }
+  for (const JsonValue& jc : cells->array) {
+    SweepCell cell;
+    if (const JsonValue* v = jc.Find("label")) cell.label = v->string;
+    if (const JsonValue* v = jc.Find("variant")) {
+      cell.variant = VariantFromName(v->string);
+    }
+    if (const JsonValue* v = jc.Find("schedule")) cell.schedule_label = v->string;
+    cell.duration = SimTime::Picos(
+        static_cast<std::int64_t>(RequireNumber(jc, "duration_ps")));
+
+    if (const JsonValue* runs = jc.Find("runs")) {
+      for (const JsonValue& jr : runs->array) {
+        SweepRun run;
+        run.seed = static_cast<std::uint64_t>(RequireNumber(jr, "seed"));
+        run.result.variant = cell.variant;
+        run.result.duration = cell.duration;
+        if (const JsonValue* metrics = jr.Find("metrics")) {
+          for (const auto& [name, value] : metrics->object) {
+            ApplyMetric(run.result, name, value.NumberOr(0));
+          }
+        }
+        cell.runs.push_back(std::move(run));
+      }
+    }
+
+    if (const JsonValue* aggs = jc.Find("aggregates")) {
+      // Rebuild in canonical ScalarMetrics order (the JSON object model is
+      // a sorted map), so round-tripped cells compare equal to the writer's.
+      auto take = [&](const std::string& name, const JsonValue& jstats) {
+        MetricStats s;
+        s.mean = RequireNumber(jstats, "mean");
+        s.stddev = RequireNumber(jstats, "stddev");
+        s.ci95 = RequireNumber(jstats, "ci95");
+        s.n = static_cast<std::size_t>(RequireNumber(jstats, "n"));
+        cell.metrics.emplace_back(name, s);
+      };
+      std::set<std::string> taken;
+      for (const auto& [name, unused] : ScalarMetrics(ExperimentResult{})) {
+        (void)unused;
+        if (const JsonValue* jstats = aggs->Find(name)) {
+          take(name, *jstats);
+          taken.insert(name);
+        }
+      }
+      for (const auto& [name, jstats] : aggs->object) {
+        if (!taken.count(name)) take(name, jstats);
+      }
+    }
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+SweepResult ReadSweepJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return SweepFromJson(text);
+}
+
+// --- CSV --------------------------------------------------------------------
+
+void WriteSweepCsv(const std::string& path, const SweepResult& sweep) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot open " + path);
+
+  std::fprintf(f, "label,variant,schedule,duration_ms,seed");
+  if (!sweep.cells.empty() && !sweep.cells.front().runs.empty()) {
+    for (const auto& [name, value] :
+         ScalarMetrics(sweep.cells.front().runs.front().result)) {
+      (void)value;
+      std::fprintf(f, ",%s", name.c_str());
+    }
+  }
+  std::fprintf(f, "\n");
+
+  for (const SweepCell& cell : sweep.cells) {
+    for (const SweepRun& run : cell.runs) {
+      std::fprintf(f, "%s,%s,%s,%.6g,%llu", cell.label.c_str(),
+                   VariantName(cell.variant), cell.schedule_label.c_str(),
+                   cell.duration.millis_f(),
+                   static_cast<unsigned long long>(run.seed));
+      for (const auto& [name, value] : ScalarMetrics(run.result)) {
+        (void)name;
+        std::fprintf(f, ",%.17g", value);
+      }
+      std::fprintf(f, "\n");
+    }
+    for (const char* row : {"mean", "stddev", "ci95"}) {
+      std::fprintf(f, "%s,%s,%s,%.6g,%s", cell.label.c_str(),
+                   VariantName(cell.variant), cell.schedule_label.c_str(),
+                   cell.duration.millis_f(), row);
+      for (const auto& [name, stats] : cell.metrics) {
+        (void)name;
+        const double v = std::string(row) == "mean"     ? stats.mean
+                         : std::string(row) == "stddev" ? stats.stddev
+                                                        : stats.ci95;
+        std::fprintf(f, ",%.17g", v);
+      }
+      std::fprintf(f, "\n");
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace tdtcp

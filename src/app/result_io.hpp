@@ -1,0 +1,65 @@
+// Versioned sweep-result emission and ingestion.
+//
+// JSON schema "tdtcp-sweep/1": one document per sweep, carrying the grid
+// metadata, every per-seed scalar metric, and the cross-seed aggregates —
+// everything a plotting script needs to reproduce a figure with error bars
+// without re-running the sweep. Curves (folded series) stay in the CSV
+// side-channel (trace/samplers' WriteSeriesCsv) because they are large and
+// per-seed identical under a fixed config.
+//
+// The reader parses exactly the subset of JSON the writer emits (objects,
+// arrays, strings, numbers) so results round-trip without third-party
+// dependencies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/sweep.hpp"
+
+namespace tdtcp {
+
+inline constexpr const char* kSweepSchemaVersion = "tdtcp-sweep/1";
+
+// --- JSON document model ----------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double NumberOr(double def) const {
+    return type == Type::kNumber ? number : def;
+  }
+};
+
+// Parses a JSON document; throws std::runtime_error on malformed input.
+JsonValue ParseJson(const std::string& text);
+
+// --- sweep serialization ----------------------------------------------------
+
+// Serializes a SweepResult to schema tdtcp-sweep/1.
+std::string SweepToJson(const SweepResult& sweep);
+void WriteSweepJson(const std::string& path, const SweepResult& sweep);
+
+// Rebuilds the scalar portion of a SweepResult (cells, per-seed metric
+// values, aggregates) from a tdtcp-sweep/1 document. Series/curves are not
+// serialized and come back empty. Throws std::runtime_error on schema
+// mismatch.
+SweepResult SweepFromJson(const std::string& json);
+SweepResult ReadSweepJson(const std::string& path);
+
+// Flat CSV: one row per (cell, seed) with every scalar metric as a column,
+// then one "aggregate" row per cell with mean/stddev/ci95 triplets.
+void WriteSweepCsv(const std::string& path, const SweepResult& sweep);
+
+}  // namespace tdtcp

@@ -1,0 +1,193 @@
+#include "app/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tdtcp {
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+void ParallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  jobs = ResolveJobs(jobs);
+  if (static_cast<std::size_t>(jobs) > n) jobs = static_cast<int>(n);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+// Two-sided 95% Student-t critical values by degrees of freedom; seeds-per-
+// cell is small, so the normal 1.96 would understate the interval.
+double TCritical95(std::size_t df) {
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+}  // namespace
+
+MetricStats ComputeStats(const std::vector<double>& values) {
+  MetricStats s;
+  s.n = values.size();
+  if (s.n == 0) return s;
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double sq = 0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  s.ci95 = TCritical95(s.n - 1) * s.stddev /
+           std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> ScalarMetrics(
+    const ExperimentResult& r) {
+  return {
+      {"goodput_bps", r.goodput_bps},
+      {"total_bytes", static_cast<double>(r.total_bytes)},
+      {"retransmissions", static_cast<double>(r.retransmissions)},
+      {"timeouts", static_cast<double>(r.timeouts)},
+      {"reorder_events", static_cast<double>(r.reorder_events)},
+      {"reorder_marked_lost", static_cast<double>(r.reorder_marked_lost)},
+      {"duplicate_segments", static_cast<double>(r.duplicate_segments)},
+      {"undo_events", static_cast<double>(r.undo_events)},
+      {"cross_tdn_exemptions", static_cast<double>(r.cross_tdn_exemptions)},
+  };
+}
+
+std::vector<std::pair<std::string, MetricStats>> AggregateRuns(
+    const std::vector<SweepRun>& runs) {
+  std::vector<std::pair<std::string, MetricStats>> out;
+  if (runs.empty()) return out;
+  const auto names = ScalarMetrics(runs.front().result);
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    std::vector<double> values;
+    values.reserve(runs.size());
+    for (const SweepRun& run : runs) {
+      values.push_back(ScalarMetrics(run.result)[m].second);
+    }
+    out.emplace_back(names[m].first, ComputeStats(values));
+  }
+  return out;
+}
+
+std::vector<SweepCase> ExpandGrid(const SweepSpec& spec) {
+  const std::vector<Variant> variants =
+      spec.variants.empty() ? std::vector<Variant>{spec.base.workload.variant}
+                            : spec.variants;
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.base.seed}
+                         : spec.seeds;
+  const std::vector<SimTime> durations =
+      spec.durations.empty() ? std::vector<SimTime>{spec.base.duration}
+                             : spec.durations;
+  const std::vector<SchedulePoint> schedules =
+      spec.schedules.empty()
+          ? std::vector<SchedulePoint>{{"", spec.base.schedule}}
+          : spec.schedules;
+
+  std::vector<SweepCase> cases;
+  cases.reserve(variants.size() * schedules.size() * durations.size() *
+                seeds.size());
+  for (Variant v : variants) {
+    for (const SchedulePoint& sp : schedules) {
+      for (SimTime d : durations) {
+        for (std::uint64_t seed : seeds) {
+          SweepCase c;
+          c.label = VariantName(v);
+          if (!sp.label.empty()) c.label += "/" + sp.label;
+          c.config = spec.base;
+          c.config.WithVariant(v)
+              .WithSchedule(sp.schedule)
+              .WithDuration(d)
+              .WithSeed(seed);
+          cases.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<ExperimentResult> RunCases(const std::vector<SweepCase>& cases,
+                                       int jobs) {
+  std::vector<ExperimentResult> results(cases.size());
+  ParallelFor(jobs, cases.size(), [&](std::size_t i) {
+    results[i] = RunExperiment(cases[i].config);
+  });
+  return results;
+}
+
+SweepResult RunSweep(const SweepSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepCase> cases = ExpandGrid(spec);
+  const std::size_t seeds_per_cell =
+      spec.seeds.empty() ? 1 : spec.seeds.size();
+
+  SweepResult out;
+  out.jobs = ResolveJobs(spec.jobs);
+  std::vector<ExperimentResult> results = RunCases(cases, spec.jobs);
+
+  for (std::size_t i = 0; i < cases.size(); i += seeds_per_cell) {
+    SweepCell cell;
+    cell.label = cases[i].label;
+    cell.variant = cases[i].config.workload.variant;
+    cell.duration = cases[i].config.duration;
+    // Recover the schedule label from the case label ("variant/label").
+    const std::string vn = VariantName(cell.variant);
+    if (cell.label.size() > vn.size()) {
+      cell.schedule_label = cell.label.substr(vn.size() + 1);
+    }
+    for (std::size_t k = 0; k < seeds_per_cell; ++k) {
+      cell.runs.push_back(
+          SweepRun{cases[i + k].config.seed, std::move(results[i + k])});
+    }
+    cell.metrics = AggregateRuns(cell.runs);
+    out.cells.push_back(std::move(cell));
+  }
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace tdtcp

@@ -9,14 +9,36 @@
 #include "cc/retcp.hpp"
 
 namespace tdtcp {
+namespace {
+
+struct CcEntry {
+  std::string_view name;
+  std::unique_ptr<CongestionControl> (*make)();
+};
+
+// Constant-initialized: plain function pointers, no static constructors,
+// nothing for two threads to race on.
+constexpr CcEntry kCcTable[] = {
+    {"reno", MakeReno},
+    {"cubic", MakeCubic},
+    {"dctcp", MakeDctcp},
+    {"retcp", MakeRetcp},
+    {"retcpdyn", MakeRetcpDyn},
+};
+
+}  // namespace
 
 CcFactory MakeCcFactory(std::string_view name) {
-  if (name == "reno") return [] { return MakeReno(); };
-  if (name == "cubic") return [] { return MakeCubic(); };
-  if (name == "dctcp") return [] { return MakeDctcp(); };
-  if (name == "retcp") return [] { return MakeRetcp(); };
-  if (name == "retcpdyn") return [] { return MakeRetcpDyn(); };
+  for (const CcEntry& e : kCcTable) {
+    if (e.name == name) return e.make;
+  }
   throw std::invalid_argument("unknown congestion control: " + std::string(name));
+}
+
+std::vector<std::string_view> RegisteredCcNames() {
+  std::vector<std::string_view> names;
+  for (const CcEntry& e : kCcTable) names.push_back(e.name);
+  return names;
 }
 
 }  // namespace tdtcp

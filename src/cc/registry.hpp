@@ -1,8 +1,14 @@
 // Name-based congestion-control factory lookup, mirroring Linux's
 // `sysctl net.ipv4.tcp_congestion_control` selection by name.
+//
+// Registration is a constant-initialized table of (name, constructor)
+// pairs: lookups never touch mutable state, so concurrent experiment
+// construction from a thread-parallel sweep is race-free by construction
+// (no lazy init, no locks to forget).
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "tdtcp/congestion_control.hpp"
 
@@ -11,5 +17,8 @@ namespace tdtcp {
 // Supported: "reno", "cubic", "dctcp", "retcp", "retcpdyn".
 // Throws std::invalid_argument for unknown names.
 CcFactory MakeCcFactory(std::string_view name);
+
+// All registered module names, in registration order.
+std::vector<std::string_view> RegisteredCcNames();
 
 }  // namespace tdtcp

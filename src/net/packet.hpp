@@ -106,8 +106,4 @@ struct Packet {
   bool IsAckLike() const { return type == PacketType::kAck || payload == 0; }
 };
 
-// Global packet id source. Simulations are single-threaded; ids are for
-// tracing only and never affect protocol behaviour.
-std::uint64_t NextPacketId();
-
 }  // namespace tdtcp

@@ -51,7 +51,7 @@ void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer) {
     last_notify_latency_[i] = accumulated;
 
     Packet icmp;
-    icmp.id = NextPacketId();
+    icmp.id = sim_.NextPacketId();
     icmp.type = PacketType::kTdnNotify;
     icmp.size_bytes = 64;
     icmp.dst = hosts_[i].id;

@@ -41,11 +41,18 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  // Per-simulation packet id source (for tracing; never affects protocol
+  // behaviour). Owned by the Simulator so concurrent simulations on
+  // different threads never share mutable state and ids replay
+  // deterministically for a given (config, seed).
+  std::uint64_t NextPacketId() { return next_packet_id_++; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t next_packet_id_ = 1;
 };
 
 }  // namespace tdtcp

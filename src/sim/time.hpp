@@ -39,6 +39,7 @@ class SimTime {
   constexpr std::int64_t millis() const { return ps_ / 1'000'000'000; }
   constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
   constexpr double micros_f() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double millis_f() const { return static_cast<double>(ps_) * 1e-9; }
 
   constexpr bool IsZero() const { return ps_ == 0; }
 

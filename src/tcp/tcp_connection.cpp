@@ -88,7 +88,7 @@ void TcpConnection::SendSyn(bool is_synack) {
 
 void TcpConnection::ResendSynPacket() {
   Packet p;
-  p.id = NextPacketId();
+  p.id = sim_.NextPacketId();
   p.type = PacketType::kData;
   p.flow = flow_;
   p.dst = peer_;
@@ -147,7 +147,7 @@ void TcpConnection::OnSynAck(const Packet& p) {
 
   // Final handshake ACK.
   Packet a;
-  a.id = NextPacketId();
+  a.id = sim_.NextPacketId();
   a.type = PacketType::kAck;
   a.flow = flow_;
   a.dst = peer_;
@@ -306,7 +306,7 @@ void TcpConnection::OnDataSegment(Packet&& p) {
 void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
                             const Packet& data) {
   Packet a;
-  a.id = NextPacketId();
+  a.id = sim_.NextPacketId();
   a.type = PacketType::kAck;
   a.flow = flow_;
   a.dst = peer_;
@@ -957,7 +957,7 @@ bool TcpConnection::RetransmitOneLost() {
 
 void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
   Packet p;
-  p.id = NextPacketId();
+  p.id = sim_.NextPacketId();
   p.type = PacketType::kData;
   p.flow = flow_;
   p.dst = peer_;

@@ -206,7 +206,7 @@ TEST(FabricPort, ModeChangeMidSerializationCompletesAtOldRate) {
   fc.initial_mode = NetworkMode{0, 10'000'000'000, SimTime::Zero(), false};
   FabricPort port(sim, fc, &sink);
   Packet p;
-  p.id = NextPacketId();
+  p.id = sim.NextPacketId();
   p.type = PacketType::kData;
   p.size_bytes = 9000;  // 7.2us at 10G
   port.Enqueue(std::move(p));

@@ -15,9 +15,16 @@ namespace {
 
 using test::CaptureSink;
 
+// Packet ids now come from the owning Simulator (Simulator::NextPacketId);
+// these standalone queue/link tests just need distinct ids.
+std::uint64_t NextTestPacketId() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
 Packet MakeData(std::uint32_t size = 9000, NodeId dst = 1) {
   Packet p;
-  p.id = NextPacketId();
+  p.id = NextTestPacketId();
   p.type = PacketType::kData;
   p.size_bytes = size;
   p.payload = size - 60;

@@ -332,12 +332,12 @@ TEST_P(RdcnScheduleSweep, TdtcpRemainsSaneAndBeatsNothingWeird) {
   cfg.schedule.night_length = SimTime::Micros(std::max(2, day_us / 9));
   cfg.schedule.num_days = static_cast<std::uint32_t>(num_days);
   cfg.schedule.circuit_day = static_cast<std::uint32_t>(num_days - 1);
-  cfg.duration = SimTime::Millis(15);
-  cfg.warmup = SimTime::Millis(3);
-  cfg.workload.num_flows = 4;
-  cfg.sample_voq = false;
-  cfg.sample_reorder = false;
-  ExperimentResult r = RunExperiment(cfg, 1);
+  cfg.WithDuration(SimTime::Millis(15))
+      .WithWarmup(SimTime::Millis(3))
+      .WithFlows(4)
+      .WithSampling(false, false)
+      .WithPlotWeeks(1);
+  ExperimentResult r = RunExperiment(cfg);
 
   const Schedule schedule(cfg.schedule);
   const double optimal =
