@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "fault/fault_injector.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +54,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                             {topo.tor(a), topo.tor(b)});
 
   Workload workload(sim, topo, config.workload);
+
+  // Arm the fault injector (if any) after the flows exist but before the
+  // controller's synchronous t=0 notification, so the very first NotifyHosts
+  // already passes through the control-plane fault hook.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault.Empty()) {
+    injector = std::make_unique<FaultInjector>(sim, config.fault, config.seed);
+    injector->Arm(topo);
+    for (auto& f : workload.flows()) {
+      if (f.tcp_sender) f.tcp_sender->SetFaultTraceSource(injector.get());
+      if (f.tcp_receiver) f.tcp_receiver->SetFaultTraceSource(injector.get());
+    }
+  }
 
   controller.Start();
   workload.Start();
@@ -194,8 +208,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       r.undo_events += f.tcp_sender->stats().undo_events;
       r.timeouts += f.tcp_sender->stats().timeouts;
       r.cross_tdn_exemptions += f.tcp_sender->stats().cross_tdn_exemptions;
+      r.tdn_inferred_switches += f.tcp_sender->stats().tdn_inferred_switches;
+    }
+    if (f.tcp_receiver) {
+      r.tdn_inferred_switches += f.tcp_receiver->stats().tdn_inferred_switches;
     }
   }
+
+  // Fault/robustness accounting.
+  if (injector) {
+    r.faults_injected = injector->stats().total();
+    r.fault_trace_hash = injector->TraceHash();
+    r.notifications_dropped =
+        injector->stats().notifications_dropped + injector->stats().stall_dropped;
+  }
+  for (RackId rack = 0; rack < config.topology.num_racks; ++rack) {
+    for (std::uint32_t i = 0; i < config.topology.hosts_per_rack; ++i) {
+      r.stale_notifications += topo.host(rack, i)->stale_notifications_dropped();
+    }
+  }
+  r.voq_shrink_deferred = topo.port(a, b)->voq().stats().shrink_deferred +
+                          topo.port(b, a)->voq().stats().shrink_deferred;
   return r;
 }
 

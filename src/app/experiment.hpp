@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "app/workload.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/topology.hpp"
 #include "rdcn/controller.hpp"
 #include "trace/samplers.hpp"
@@ -31,6 +32,8 @@ struct ExperimentConfig {
   TopologyConfig topology;
   ScheduleConfig schedule;
   WorkloadConfig workload;
+  // Fault scenario; an empty plan (the default) arms no injector.
+  FaultPlan fault;
   bool dynamic_voq = false;  // reTCPdyn switch cooperation
   SimTime duration = SimTime::Millis(200);
   SimTime warmup = SimTime::Millis(20);
@@ -89,6 +92,10 @@ struct ExperimentConfig {
     plot_weeks = weeks;
     return *this;
   }
+  ExperimentConfig& WithFault(const FaultPlan& plan) {
+    fault = plan;
+    return *this;
+  }
 };
 
 // The paper's baseline configuration for a given variant (DCTCP gets a
@@ -135,6 +142,14 @@ struct ExperimentResult {
   std::vector<double> reorder_marked_per_day;
   std::vector<double> spurious_rtx_per_day;
   std::uint64_t duplicate_segments = 0;
+
+  // Fault-injection accounting (all zero when the plan was empty).
+  std::uint64_t faults_injected = 0;       // every recorded fault event
+  std::uint64_t fault_trace_hash = 0;      // FNV-1a of the ordered trace
+  std::uint64_t notifications_dropped = 0; // control-plane drops + stalls
+  std::uint64_t stale_notifications = 0;   // host-side dup/stale filter hits
+  std::uint64_t tdn_inferred_switches = 0; // data-path inference recoveries
+  std::uint64_t voq_shrink_deferred = 0;   // drain-then-shrink retained pkts
 };
 
 // Runs one deterministic experiment: the single entry point for the whole

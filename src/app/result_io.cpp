@@ -140,6 +140,16 @@ class JsonParser {
   }
 
   JsonValue ParseValue() {
+    // A hostile input of "[[[[[..." would otherwise recurse once per byte
+    // and overflow the stack long before any other check fires.
+    if (depth_ >= kMaxDepth) Fail("nesting too deep");
+    ++depth_;
+    JsonValue v = ParseValueInner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue ParseValueInner() {
     switch (Peek()) {
       case '{': return ParseObject();
       case '[': return ParseArray();
@@ -185,9 +195,23 @@ class JsonParser {
           case 'n': out += '\n'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
-            out += static_cast<char>(
-                std::stoi(text_.substr(pos_, 4), nullptr, 16));
+            // Manual hex parse: std::stoi would accept partial garbage
+            // ("\u12zz") or throw an unhelpful exception ("\uzzzz").
+            if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              unsigned digit;
+              if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') digit = static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') digit = static_cast<unsigned>(h - 'A' + 10);
+              else Fail("non-hex digit in \\u escape");
+              code = code * 16 + digit;
+            }
+            // The writer only emits \u for control bytes; anything wider
+            // would need UTF-8 encoding we don't produce.
+            if (code > 0xff) Fail("\\u escape outside Latin-1 range");
+            out += static_cast<char>(code);
             pos_ += 4;
             break;
           }
@@ -212,7 +236,16 @@ class JsonParser {
       ++pos_;
     }
     if (pos_ == start) Fail("expected number");
-    return MakeNumber(std::stod(text_.substr(start, pos_ - start)));
+    const std::string tok = text_.substr(start, pos_ - start);
+    double d;
+    std::size_t consumed = 0;
+    try {
+      d = std::stod(tok, &consumed);
+    } catch (const std::exception&) {
+      Fail("malformed number");  // "-", "1e", "..", "1e999" (overflow), ...
+    }
+    if (consumed != tok.size()) Fail("malformed number");
+    return MakeNumber(d);
   }
 
   JsonValue ParseArray() {
@@ -255,8 +288,11 @@ class JsonParser {
     }
   }
 
+  static constexpr int kMaxDepth = 200;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 double RequireNumber(const JsonValue& obj, const std::string& key) {
@@ -280,6 +316,11 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "duplicate_segments") r.duplicate_segments = u64();
   else if (name == "undo_events") r.undo_events = u64();
   else if (name == "cross_tdn_exemptions") r.cross_tdn_exemptions = u64();
+  else if (name == "faults_injected") r.faults_injected = u64();
+  else if (name == "notifications_dropped") r.notifications_dropped = u64();
+  else if (name == "stale_notifications") r.stale_notifications = u64();
+  else if (name == "tdn_inferred_switches") r.tdn_inferred_switches = u64();
+  else if (name == "voq_shrink_deferred") r.voq_shrink_deferred = u64();
   // Unknown metrics from a newer minor schema are ignored.
 }
 

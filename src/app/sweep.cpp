@@ -90,6 +90,11 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"duplicate_segments", static_cast<double>(r.duplicate_segments)},
       {"undo_events", static_cast<double>(r.undo_events)},
       {"cross_tdn_exemptions", static_cast<double>(r.cross_tdn_exemptions)},
+      {"faults_injected", static_cast<double>(r.faults_injected)},
+      {"notifications_dropped", static_cast<double>(r.notifications_dropped)},
+      {"stale_notifications", static_cast<double>(r.stale_notifications)},
+      {"tdn_inferred_switches", static_cast<double>(r.tdn_inferred_switches)},
+      {"voq_shrink_deferred", static_cast<double>(r.voq_shrink_deferred)},
   };
 }
 

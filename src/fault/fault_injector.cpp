@@ -1,0 +1,222 @@
+#include "fault/fault_injector.hpp"
+
+#include <cassert>
+#include <cinttypes>
+#include <stdexcept>
+#include <string>
+
+namespace tdtcp {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDataLoss: return "data-loss";
+    case FaultKind::kDataCorrupt: return "data-corrupt";
+    case FaultKind::kBurstLoss: return "burst-loss";
+    case FaultKind::kNotifyDrop: return "notify-drop";
+    case FaultKind::kNotifyDelay: return "notify-delay";
+    case FaultKind::kNotifyDuplicate: return "notify-dup";
+    case FaultKind::kStallDrop: return "stall-drop";
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan,
+                             std::uint64_t run_seed)
+    : sim_(sim), plan_(std::move(plan)), rng_(run_seed ^ plan_.seed_salt) {}
+
+void FaultInjector::Arm(Topology& topo) {
+  assert(!armed_ && "FaultInjector::Arm called twice");
+  armed_ = true;
+  const std::uint32_t racks = topo.config().num_racks;
+
+  // One Gilbert-Elliott chain per faulted link. Indices are assigned in a
+  // fixed construction order so the trace's `subject` field is stable:
+  // fabric ports first (src-major), then rack uplinks, then downlinks.
+  std::uint32_t subject = 0;
+
+  for (RackId a = 0; a < racks; ++a) {
+    for (RackId b = 0; b < racks; ++b) {
+      if (a == b) continue;
+      FabricPort* port = topo.port(a, b);
+      audited_voqs_.push_back(&port->voq());
+      const std::uint32_t idx = subject++;
+      ge_states_.emplace_back();
+      if (!plan_.fabric.Empty()) {
+        port->SetFaultFilter([this, idx](const Packet& p) {
+          return RollLink(plan_.fabric, ge_states_[idx], p, idx);
+        });
+      }
+    }
+  }
+  for (RackId r = 0; r < racks; ++r) {
+    for (Link* link : {topo.rack_uplink(r), topo.rack_downlink(r)}) {
+      const std::uint32_t idx = subject++;
+      ge_states_.emplace_back();
+      if (!plan_.host_links.Empty()) {
+        link->SetFaultFilter([this, idx](const Packet& p) {
+          return RollLink(plan_.host_links, ge_states_[idx], p, idx);
+        });
+      }
+    }
+  }
+
+  if (!plan_.control.Empty()) {
+    for (RackId r = 0; r < racks; ++r) {
+      topo.tor(r)->SetNotifyFaultHook(
+          [this, r](const Packet& icmp, SimTime base,
+                    std::vector<SimTime>& out) {
+            OnNotify(icmp, base, out, r);
+          });
+    }
+  }
+
+  for (const LinkDownWindow& w : plan_.link_downs) {
+    if (w.rack >= racks || w.duration.IsZero()) continue;
+    Link* link = w.uplink ? topo.rack_uplink(w.rack) : topo.rack_downlink(w.rack);
+    const std::uint32_t rack = w.rack;
+    sim_.ScheduleAt(w.down_at, [this, link, rack] {
+      link->set_enabled(false);
+      ++stats_.link_transitions;
+      Record(FaultKind::kLinkDown, 0, rack);
+    });
+    sim_.ScheduleAt(w.down_at + w.duration, [this, link, rack] {
+      link->set_enabled(true);
+      ++stats_.link_transitions;
+      Record(FaultKind::kLinkUp, 0, rack);
+    });
+  }
+
+  if (!plan_.audit_interval.IsZero()) ScheduleAudit();
+}
+
+bool FaultInjector::RollLink(const LinkFaultSpec& spec, GeState& ge,
+                             const Packet& p, std::uint32_t subject) {
+  if (spec.gilbert_elliott) {
+    // Advance the chain once per packet, then roll the state's loss prob.
+    if (ge.bad) {
+      if (rng_.Bernoulli(spec.ge_p_bad_to_good)) ge.bad = false;
+    } else if (rng_.Bernoulli(spec.ge_p_good_to_bad)) {
+      ge.bad = true;
+    }
+    const double loss = ge.bad ? spec.ge_loss_bad : spec.ge_loss_good;
+    if (rng_.Bernoulli(loss)) {
+      ++stats_.burst_dropped;
+      Record(FaultKind::kBurstLoss, p.id, subject);
+      return true;
+    }
+  }
+  if (rng_.Bernoulli(spec.loss_rate)) {
+    ++stats_.data_dropped;
+    Record(FaultKind::kDataLoss, p.id, subject);
+    return true;
+  }
+  if (rng_.Bernoulli(spec.corrupt_rate)) {
+    ++stats_.data_corrupted;
+    Record(FaultKind::kDataCorrupt, p.id, subject);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::InStall(SimTime t) const {
+  for (const auto& w : plan_.control.stalls) {
+    if (t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+void FaultInjector::OnNotify(const Packet& icmp, SimTime base_delay,
+                             std::vector<SimTime>& delays_out,
+                             std::uint32_t rack) {
+  const ControlFaultSpec& c = plan_.control;
+  if (InStall(sim_.now())) {
+    ++stats_.stall_dropped;
+    Record(FaultKind::kStallDrop, icmp.id, rack);
+    return;  // no deliveries: the reconfiguration happens silently
+  }
+  if (rng_.Bernoulli(c.notify_loss_rate)) {
+    ++stats_.notifications_dropped;
+    Record(FaultKind::kNotifyDrop, icmp.id, rack);
+    return;
+  }
+  SimTime when = base_delay;
+  if (!c.notify_delay_mean.IsZero()) {
+    when = when + SimTime::Picos(static_cast<std::int64_t>(
+                      rng_.Exponential(static_cast<double>(
+                          c.notify_delay_mean.picos()))));
+  }
+  if (!c.notify_delay_jitter.IsZero()) {
+    when = when + rng_.UniformTime(SimTime::Zero(), c.notify_delay_jitter);
+  }
+  if (when != base_delay) {
+    ++stats_.notifications_delayed;
+    Record(FaultKind::kNotifyDelay, icmp.id, rack);
+  }
+  delays_out.push_back(when);
+  if (rng_.Bernoulli(c.notify_duplicate_rate)) {
+    ++stats_.notifications_duplicated;
+    Record(FaultKind::kNotifyDuplicate, icmp.id, rack);
+    // The duplicate trails the original slightly, as a retransmitted or
+    // misrouted copy would.
+    delays_out.push_back(when + SimTime::Micros(1));
+  }
+}
+
+void FaultInjector::Record(FaultKind kind, std::uint64_t packet_id,
+                           std::uint32_t subject) {
+  trace_.push_back(FaultEvent{sim_.now(), kind, packet_id, subject});
+}
+
+std::uint64_t FaultInjector::TraceHash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const FaultEvent& e : trace_) {
+    mix(static_cast<std::uint64_t>(e.at.picos()));
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.packet_id);
+    mix(e.subject);
+  }
+  return h;
+}
+
+void FaultInjector::DumpRecentFaults(std::FILE* out,
+                                     std::size_t last_n) const {
+  const std::size_t start =
+      trace_.size() > last_n ? trace_.size() - last_n : 0;
+  std::fprintf(out, "recent fault trace (%zu of %zu events):\n",
+               trace_.size() - start, trace_.size());
+  for (std::size_t i = start; i < trace_.size(); ++i) {
+    const FaultEvent& e = trace_[i];
+    std::fprintf(out, "  t=%.3fus %s packet=%" PRIu64 " subject=%u\n",
+                 static_cast<double>(e.at.picos()) / 1e6, FaultKindName(e.kind),
+                 e.packet_id, e.subject);
+  }
+}
+
+void FaultInjector::ScheduleAudit() {
+  sim_.Schedule(plan_.audit_interval, [this] {
+    Audit();
+    ScheduleAudit();
+  });
+}
+
+void FaultInjector::Audit() const {
+  for (const Queue* voq : audited_voqs_) {
+    if (!voq->WithinBound()) {
+      throw std::logic_error(
+          "VOQ occupancy invariant violated: occupancy " +
+          std::to_string(voq->occupancy()) + " exceeds bound (capacity " +
+          std::to_string(voq->capacity()) + ") at t=" +
+          std::to_string(sim_.now().picos()) + "ps");
+    }
+  }
+}
+
+}  // namespace tdtcp

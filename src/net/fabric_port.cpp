@@ -81,6 +81,11 @@ void FabricPort::MaybeTransmit() {
   const SimTime tx = TransmissionTime(p.size_bytes, mode_.rate_bps);
   sim_.Schedule(tx, [this, p = std::move(p)]() mutable {
     busy_ = false;
+    if (fault_filter_ && fault_filter_(p)) {
+      ++fault_dropped_;  // lost on the wire
+      MaybeTransmit();
+      return;
+    }
     SimTime prop = mode_.propagation;
     if (!config_.reorder_jitter.IsZero() && rng_ != nullptr) {
       prop += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "net/node.hpp"
@@ -62,6 +63,12 @@ class FabricPort {
   std::uint32_t pinned_waiting() const;
   std::uint64_t pinned_dropped() const { return pinned_dropped_; }
 
+  // Fault-injection hook (src/fault): consulted once per packet after it
+  // finishes serializing, before propagation. Returning true drops it.
+  using FaultFilter = std::function<bool(const Packet&)>;
+  void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+  std::uint64_t fault_dropped() const { return fault_dropped_; }
+
   const std::string& name() const { return config_.name; }
 
  private:
@@ -80,7 +87,9 @@ class FabricPort {
   bool blackout_ = false;
   bool busy_ = false;
   std::deque<Packet> stash_[2];
+  FaultFilter fault_filter_;
   std::uint64_t pinned_dropped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace tdtcp

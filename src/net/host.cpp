@@ -13,6 +13,18 @@ void Host::Send(Packet&& p) {
 
 void Host::HandlePacket(Packet&& p) {
   if (p.type == PacketType::kTdnNotify) {
+    if (p.notify_seq != 0) {
+      // Sequenced notification: apply it only if it is newer than the last
+      // one seen for this peer scope. This makes duplicated, reordered, and
+      // stale control-plane deliveries idempotent (§3.2) without the flows
+      // ever seeing them.
+      std::uint64_t& last = last_notify_seq_[p.notify_peer];
+      if (p.notify_seq <= last) {
+        ++stale_notifications_dropped_;
+        return;
+      }
+      last = p.notify_seq;
+    }
     DistributeTdn(p.notify_tdn, p.circuit_imminent, p.notify_peer);
     return;
   }

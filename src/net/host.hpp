@@ -64,6 +64,13 @@ class Host : public PacketSink {
 
   std::uint64_t dropped_no_endpoint() const { return dropped_no_endpoint_; }
 
+  // Sequenced notifications (Packet::notify_seq != 0) filtered because a
+  // newer one for the same peer scope was already applied -- duplicates,
+  // reordered stragglers, and stale retransmissions all land here (§3.2).
+  std::uint64_t stale_notifications_dropped() const {
+    return stale_notifications_dropped_;
+  }
+
  private:
   struct ListenerEntry {
     const void* owner;
@@ -80,6 +87,9 @@ class Host : public PacketSink {
   std::vector<ListenerEntry> tdn_listeners_;
   NotifyDistribution notify_;
   std::uint64_t dropped_no_endpoint_ = 0;
+  // Highest applied notify_seq per peer scope (kAllRacks is its own scope).
+  std::unordered_map<RackId, std::uint64_t> last_notify_seq_;
+  std::uint64_t stale_notifications_dropped_ = 0;
 };
 
 }  // namespace tdtcp

@@ -37,6 +37,10 @@ void Link::MaybeTransmit() {
 }
 
 void Link::Deliver(Packet&& p) {
+  if (fault_filter_ && fault_filter_(p)) {
+    ++fault_dropped_;
+    return;  // lost on the wire
+  }
   SimTime delay = config_.propagation;
   if (!config_.reorder_jitter.IsZero() && rng_ != nullptr) {
     delay += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);

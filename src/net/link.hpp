@@ -38,6 +38,14 @@ class Link {
   // Admits a packet to the queue (may drop) and kicks the transmitter.
   void Enqueue(Packet&& p);
 
+  // Fault-injection hook (src/fault): consulted once per packet after it
+  // finishes serializing, before propagation. Returning true drops the
+  // packet on the wire (loss or corruption; a corrupted packet fails the
+  // receiver checksum, which is indistinguishable from loss here).
+  using FaultFilter = std::function<bool(const Packet&)>;
+  void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+  std::uint64_t fault_dropped() const { return fault_dropped_; }
+
   // Night/blackout control: a disabled link does not start new
   // transmissions; the one in flight (if any) still completes and
   // propagates.
@@ -62,9 +70,11 @@ class Link {
   PacketSink* sink_;
   Random* rng_;
   Queue queue_;
+  FaultFilter fault_filter_;
   bool busy_ = false;
   bool enabled_ = true;
   std::uint64_t delivered_ = 0;
+  std::uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace tdtcp

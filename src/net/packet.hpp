@@ -90,6 +90,11 @@ struct Packet {
   // Multi-rack extension: the notification applies only to paths toward
   // this rack (kAllRacks = fabric-wide, the paper's two-rack semantics).
   RackId notify_peer = 0xffffffff;
+  // Controller-stamped generation number. Hosts drop a sequenced
+  // notification whose seq is <= the last one they applied for the same
+  // peer scope, making duplicated/reordered/stale deliveries idempotent
+  // (§3.2). Zero means unsequenced: always delivered (hand-crafted tests).
+  std::uint64_t notify_seq = 0;
 
   // --- MPTCP --------------------------------------------------------------
   std::uint8_t subflow = 0;       // subflow index the segment belongs to

@@ -25,7 +25,27 @@ std::optional<Packet> Queue::Dequeue() {
   if (q_.empty()) return std::nullopt;
   Packet p = std::move(q_.front());
   q_.pop_front();
+  if (shrink_watermark_ != 0) {
+    // The post-shrink overshoot only ever drains: tighten the watermark with
+    // the occupancy and clear it once we are back within capacity.
+    if (q_.size() <= config_.capacity_packets) {
+      shrink_watermark_ = 0;
+    } else {
+      shrink_watermark_ =
+          std::min(shrink_watermark_, static_cast<std::uint32_t>(q_.size()));
+    }
+  }
   return p;
+}
+
+void Queue::set_capacity(std::uint32_t packets) {
+  if (q_.size() > packets) {
+    stats_.shrink_deferred += q_.size() - packets;
+    shrink_watermark_ = static_cast<std::uint32_t>(q_.size());
+  } else {
+    shrink_watermark_ = 0;
+  }
+  config_.capacity_packets = packets;
 }
 
 }  // namespace tdtcp

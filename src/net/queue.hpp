@@ -29,6 +29,9 @@ class Queue {
     std::uint64_t dropped = 0;
     std::uint64_t ce_marked = 0;
     std::uint32_t max_occupancy = 0;
+    // Packets retained above capacity by a drain-then-shrink resize
+    // (reTCPdyn 50 -> 16 at circuit teardown while the VOQ is still deep).
+    std::uint64_t shrink_deferred = 0;
   };
 
   explicit Queue(Config config) : config_(config) {}
@@ -45,9 +48,23 @@ class Queue {
   std::uint32_t occupancy() const { return static_cast<std::uint32_t>(q_.size()); }
   std::uint32_t capacity() const { return config_.capacity_packets; }
 
-  // Runtime resize; shrinking never discards already-queued packets.
-  void set_capacity(std::uint32_t packets) { config_.capacity_packets = packets; }
+  // Runtime resize (reTCPdyn, paper section 5.2). Shrinking below the current
+  // occupancy performs a drain-then-shrink: admissions stop immediately (the
+  // queue is over capacity), but the excess packets were legitimately
+  // admitted under the enlarged promise and are retained until they drain
+  // naturally -- dropping them would manufacture loss at every circuit
+  // teardown. The retained excess is counted in Stats::shrink_deferred, and
+  // occupancy is bounded by the pre-shrink watermark until it decays (see
+  // WithinBound()).
+  void set_capacity(std::uint32_t packets);
   void set_ecn_threshold(std::uint32_t packets) { config_.ecn_threshold_packets = packets; }
+
+  // The VOQ occupancy invariant: occupancy <= capacity, except transiently
+  // after a drain-then-shrink where the bound is the occupancy at shrink
+  // time (monotonically non-increasing until it reaches capacity again).
+  bool WithinBound() const {
+    return q_.size() <= std::max(config_.capacity_packets, shrink_watermark_);
+  }
 
   const Stats& stats() const { return stats_; }
 
@@ -55,6 +72,8 @@ class Queue {
   Config config_;
   std::deque<Packet> q_;
   Stats stats_;
+  // Non-zero only while draining after a shrink below occupancy.
+  std::uint32_t shrink_watermark_ = 0;
 };
 
 }  // namespace tdtcp

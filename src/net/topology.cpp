@@ -31,12 +31,14 @@ Topology::Topology(Simulator& sim, Random& rng, const TopologyConfig& config)
     up.name = "rack" + std::to_string(r) + "-up";
     links_.push_back(std::make_unique<Link>(sim, up, tors_[r].get()));
     Link* uplink = links_.back().get();
+    uplinks_.push_back(uplink);
 
     demuxes_.push_back(std::make_unique<RackDemux>(this));
     Link::Config down = host_link;
     down.name = "rack" + std::to_string(r) + "-down";
     links_.push_back(std::make_unique<Link>(sim, down, demuxes_.back().get()));
     Link* downlink = links_.back().get();
+    downlinks_.push_back(downlink);
 
     for (std::uint32_t i = 0; i < config.hosts_per_rack; ++i) {
       Host* h = host(r, i);

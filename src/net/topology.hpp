@@ -61,6 +61,12 @@ class Topology {
   // The fabric port carrying traffic from `src` rack toward `dst` rack.
   FabricPort* port(RackId src, RackId dst) { return tors_[src]->port(dst); }
 
+  // The rack machine NICs (shared by every host in the rack): hosts -> ToR
+  // and ToR -> hosts. Fault plans target these for NIC loss and link-down
+  // windows.
+  Link* rack_uplink(RackId rack) { return uplinks_[rack]; }
+  Link* rack_downlink(RackId rack) { return downlinks_[rack]; }
+
   NodeId host_id(RackId rack, std::uint32_t index) const {
     return rack * config_.hosts_per_rack + index;
   }
@@ -84,6 +90,8 @@ class Topology {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<ToRSwitch>> tors_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Link*> uplinks_;    // per rack, owned by links_
+  std::vector<Link*> downlinks_;  // per rack, owned by links_
   std::vector<std::unique_ptr<RackDemux>> demuxes_;
 };
 

@@ -43,9 +43,11 @@ SimTime ToRSwitch::SampleGenDelay() {
   return rng_->LognormalTime(notify_.gen_delay_fresh_median, notify_.gen_sigma);
 }
 
-void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer) {
+void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer,
+                            std::uint64_t seq) {
   last_notify_latency_.assign(hosts_.size(), SimTime::Zero());
   SimTime accumulated = SimTime::Zero();
+  std::vector<SimTime> deliveries;
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     accumulated += SampleGenDelay();
     last_notify_latency_[i] = accumulated;
@@ -58,17 +60,26 @@ void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer) {
     icmp.notify_tdn = tdn;
     icmp.circuit_imminent = imminent;
     icmp.notify_peer = peer;
+    icmp.notify_seq = seq;
     ++notifications_sent_;
 
-    if (notify_.via_control_network) {
-      PacketSink* sink = hosts_[i].control;
-      sim_.Schedule(accumulated + notify_.control_delay,
-                    [sink, icmp]() mutable { sink->HandlePacket(std::move(icmp)); });
+    deliveries.clear();
+    if (notify_fault_) {
+      notify_fault_(icmp, accumulated, deliveries);
     } else {
-      // Data-plane delivery: the ICMP rides the (possibly busy) downlink.
-      Link* down = hosts_[i].downlink;
-      sim_.Schedule(accumulated,
-                    [down, icmp]() mutable { down->Enqueue(std::move(icmp)); });
+      deliveries.push_back(accumulated);
+    }
+    for (SimTime when : deliveries) {
+      if (notify_.via_control_network) {
+        PacketSink* sink = hosts_[i].control;
+        sim_.Schedule(when + notify_.control_delay,
+                      [sink, icmp]() mutable { sink->HandlePacket(std::move(icmp)); });
+      } else {
+        // Data-plane delivery: the ICMP rides the (possibly busy) downlink.
+        Link* down = hosts_[i].downlink;
+        sim_.Schedule(when,
+                      [down, icmp]() mutable { down->Enqueue(std::move(icmp)); });
+      }
     }
   }
 }

@@ -63,8 +63,21 @@ class ToRSwitch : public PacketSink {
   // accumulates per host (the software switch builds packets in a loop), so
   // later hosts learn later. `imminent` is the reTCPdyn advance notice;
   // `peer` scopes the notification to paths toward one remote rack
-  // (multi-rack fabrics).
-  void NotifyHosts(TdnId tdn, bool imminent = false, RackId peer = kAllRacks);
+  // (multi-rack fabrics). `seq` is the controller's generation number
+  // stamped into the ICMP (zero = unsequenced, see Packet::notify_seq).
+  void NotifyHosts(TdnId tdn, bool imminent = false, RackId peer = kAllRacks,
+                   std::uint64_t seq = 0);
+
+  // Control-plane fault hook (src/fault): decides how each per-host
+  // notification is delivered. The hook appends the delivery delays to use
+  // to `delays_out` -- none drops the notification, one delivers it
+  // normally (possibly late), several duplicate it. When unset, one
+  // delivery at `base_delay`.
+  using NotifyFaultHook = std::function<void(
+      const Packet& icmp, SimTime base_delay, std::vector<SimTime>& delays_out)>;
+  void SetNotifyFaultHook(NotifyFaultHook hook) {
+    notify_fault_ = std::move(hook);
+  }
 
   FabricPort* port(RackId rack) { return ports_.at(rack).get(); }
   const FabricPort* port(RackId rack) const { return ports_.at(rack).get(); }
@@ -95,6 +108,7 @@ class ToRSwitch : public PacketSink {
   std::unordered_map<NodeId, std::size_t> host_index_;
   std::unordered_map<RackId, std::unique_ptr<FabricPort>> ports_;
   std::function<RackId(NodeId)> rack_of_;
+  NotifyFaultHook notify_fault_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t notifications_sent_ = 0;
   std::vector<SimTime> last_notify_latency_;

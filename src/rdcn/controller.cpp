@@ -67,10 +67,15 @@ void RdcnController::RunNight(std::uint32_t day_index) {
 
 void RdcnController::NotifyAll(TdnId tdn, bool imminent) {
   if (!imminent) last_notified_tdn_ = tdn;
-  for (ToRSwitch* tor : tors_) tor->NotifyHosts(tdn, imminent);
+  const std::uint64_t seq = ++notify_seq_;
+  for (ToRSwitch* tor : tors_) tor->NotifyHosts(tdn, imminent, kAllRacks, seq);
 }
 
 void RdcnController::ResizeVoqs(std::uint32_t packets) {
+  // Shrinking back to the normal capacity at circuit teardown while the
+  // enlarged VOQ is still deep performs a drain-then-shrink (§5.2): the
+  // queue stops admitting but retains the excess until it drains at packet
+  // speed; Queue::Stats::shrink_deferred counts the retained packets.
   for (FabricPort* p : ports_) p->voq().set_capacity(packets);
 }
 

@@ -64,6 +64,9 @@ class RdcnController {
   std::uint32_t normal_voq_packets_ = 16;
   std::uint32_t reconfigurations_ = 0;
   TdnId last_notified_tdn_ = 0;
+  // Notification generation number: stamped into every ICMP so hosts can
+  // discard duplicated/reordered/stale deliveries (Packet::notify_seq).
+  std::uint64_t notify_seq_ = 0;
 };
 
 }  // namespace tdtcp

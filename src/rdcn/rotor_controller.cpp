@@ -54,7 +54,8 @@ void RotorController::RunDay(std::uint32_t day) {
       port->SetMode(mode);
       port->SetBlackout(false);
       if (changed) {
-        topo_->tor(a)->NotifyHosts(mode.tdn, /*imminent=*/false, /*peer=*/b);
+        topo_->tor(a)->NotifyHosts(mode.tdn, /*imminent=*/false, /*peer=*/b,
+                                   ++notify_seq_);
       }
     }
   }
@@ -71,7 +72,7 @@ void RotorController::RunNight(std::uint32_t day) {
     }
     // Circuit teardown notice for the pair that was connected.
     topo_->tor(a)->NotifyHosts(config_.packet_mode.tdn, /*imminent=*/false,
-                               /*peer=*/matching[a]);
+                               /*peer=*/matching[a], ++notify_seq_);
   }
   const std::uint32_t next = (day + 1) % matchings_.size();
   sim_.Schedule(config_.night_length, [this, next] { RunDay(next); });

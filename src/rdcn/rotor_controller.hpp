@@ -54,6 +54,9 @@ class RotorController {
   Topology* topo_;
   // matchings_[day][rack] = partner rack.
   std::vector<std::vector<RackId>> matchings_;
+  // Per-peer-scope sequencing happens at the hosts; one shared generation
+  // counter is enough for monotonicity within each scope.
+  std::uint64_t notify_seq_ = 0;
 };
 
 }  // namespace tdtcp

@@ -1,12 +1,20 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace tdtcp {
 
 EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule an event in the past");
+  if (at < now_) {
+    // A past-time event would silently reorder the event list in release
+    // builds (the queue pops it "next" with a stale timestamp), corrupting
+    // every downstream measurement. Fail loudly in every build type.
+    throw std::logic_error("Simulator::ScheduleAt: event scheduled in the past (at=" +
+                           std::to_string(at.picos()) + "ps, now=" +
+                           std::to_string(now_.picos()) + "ps)");
+  }
   return queue_.Schedule(at, std::move(fn));
 }
 

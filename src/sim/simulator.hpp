@@ -22,7 +22,9 @@ class Simulator {
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  // Schedules `fn` at absolute time `at`. `at` must not be in the past.
+  // Schedules `fn` at absolute time `at`. Scheduling in the past throws
+  // std::logic_error in every build type (not just debug builds): a stale
+  // event would corrupt the event order silently otherwise.
   EventId ScheduleAt(SimTime at, std::function<void()> fn);
 
   void Cancel(EventId id) { queue_.Cancel(id); }

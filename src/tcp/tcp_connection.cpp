@@ -37,6 +37,9 @@ TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
       tdns_(config_.tdtcp_enabled ? config_.num_tdns : 1,
             ResolveFactory(config_), config_.rtt, config_.initial_cwnd) {
   assert(host_ != nullptr);
+  if (config_.invariant_checks) {
+    checker_ = std::make_unique<TcpInvariantChecker>();
+  }
   if (config_.register_endpoint) host_->RegisterEndpoint(flow_, this);
   if (config_.listen_tdn_notifications) {
     host_->AddTdnListener(
@@ -241,16 +244,65 @@ void TcpConnection::OnTdnChange(TdnId tdn, bool imminent) {
     return;
   }
   if (!tdtcp_active_) return;
-  if (!tdns_.SwitchTo(tdn)) return;
+  // A genuine notification is ground truth: it supersedes any data-path
+  // inference in progress and suppresses inference for a while (stragglers
+  // tagged with the previous TDN are expected right after a switch).
+  notify_seen_ = true;
+  last_notify_time_ = sim_.now();
+  peer_tdn_candidate_ = kNoTdn;
+  peer_tdn_streak_ = 0;
+  SwitchActiveTdn(tdn);
+}
+
+void TcpConnection::SwitchActiveTdn(TdnId tdn) {
+  if (checker_) checker_->WillSwitchTdn(*this);
+  if (!tdns_.SwitchTo(tdn)) return;  // duplicate notification: no-op
   ++stats_.tdn_switches;
   // First transmission on the new TDN will advance the TDN change pointer.
   tdn_pointer_pending_ = true;
   // Timers depend on the active TDN's RTT model.
   ArmRto();
   ArmTlp();
+  RunChecker(TcpInvariantChecker::Event::kTdnSwitch);
   // §5.2 "initial burst": the resumed TDN wakes with a (possibly) wide-open
   // cwnd and near-zero in-flight, so transmission resumes immediately.
   MaybeSend();
+}
+
+void TcpConnection::NotePeerTdn(TdnId tdn) {
+  if (!tdtcp_active_ || !config_.tdn_inference || tdn == kNoTdn) return;
+  if (tdn == ActiveTdn()) {
+    // Peer agrees with our view: any mismatch streak was stragglers.
+    peer_tdn_candidate_ = kNoTdn;
+    peer_tdn_streak_ = 0;
+    return;
+  }
+  if (tdn != peer_tdn_candidate_) {
+    peer_tdn_candidate_ = tdn;
+    peer_tdn_streak_ = 1;
+    peer_tdn_first_ = sim_.now();
+    return;
+  }
+  ++peer_tdn_streak_;
+  if (peer_tdn_streak_ < config_.tdn_infer_packets) return;
+  // In-flight traffic tagged with the previous TDN drains within about one
+  // RTT of a genuine switch, so require the mismatch streak to outlive the
+  // same patience the relaxed reordering heuristic uses (1.5x the slowest
+  // sRTT, §3.4) -- measured both from the first mismatch and from the last
+  // notification we actually received.
+  const RttEstimator& slowest = tdns_.SlowestRtt(ActiveTdn());
+  const SimTime patience = slowest.has_sample()
+                               ? slowest.srtt() + slowest.srtt() / 2
+                               : config_.rtt.initial_rto;
+  if (sim_.now() - peer_tdn_first_ <= patience) return;
+  if (notify_seen_ && sim_.now() - last_notify_time_ <= patience) return;
+  // Our notification for this TDN change was lost: converge via the data
+  // path (§3.2 graceful degradation).
+  const TdnId target = peer_tdn_candidate_;
+  peer_tdn_candidate_ = kNoTdn;
+  peer_tdn_streak_ = 0;
+  ++stats_.tdn_inferred_switches;
+  SwitchActiveTdn(target);
 }
 
 // ---------------------------------------------------------------------------
@@ -292,6 +344,9 @@ void TcpConnection::OnDataSegment(Packet&& p) {
     CompleteHandshake();
   }
   if (state_ != State::kEstablished) return;
+
+  // TD_DATA_ACK D bit: the TDN the peer sent this data on.
+  NotePeerTdn(p.data_tdn);
 
   auto result = rcv_buffer_.OnData(p.seq, p.payload, p.has_dss, p.dss_seq,
                                    sim_.now());
@@ -355,6 +410,9 @@ void TcpConnection::OnAckPacket(const Packet& p) {
   if (on_dss_ack_ && p.has_dss) on_dss_ack_(p.dss_ack, p.dss_rwnd);
   if (p.has_rwnd) peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
 
+  // TD_DATA_ACK A bit: the TDN the peer sent this ACK on.
+  NotePeerTdn(p.ack_tdn);
+
   if (p.ack > snd_nxt_) return;  // acks data never sent
   // §4.3 "all TDNs": an ACK may acknowledge data sent on any TDN, so the
   // stale-ACK filter must consult the sum of per-TDN packets_out. A stale
@@ -415,6 +473,7 @@ void TcpConnection::OnAckPacket(const Packet& p) {
 
   ArmRto();
   ArmTlp();
+  RunChecker(TcpInvariantChecker::Event::kAck);
   MaybeSend();
   if (on_send_ready_) on_send_ready_();
 }
@@ -606,6 +665,7 @@ void TcpConnection::DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked) 
   }
   prev_holes_ = holes;
   stats_.reorder_marked_lost += marked;
+  if (marked > 0) RunChecker(TcpInvariantChecker::Event::kLoss);
 }
 
 void TcpConnection::MarkSegmentLost(TxSegment& seg) {
@@ -728,7 +788,12 @@ void TcpConnection::ProportionalRateReduction(TdnState& st,
   }
   const bool fast_rexmit = st.lost_out > 0;
   sndcnt = std::max<std::int64_t>(sndcnt, fast_rexmit ? 1 : 0);
-  st.cwnd = pipe + static_cast<std::uint32_t>(std::max<std::int64_t>(0, sndcnt));
+  // Floor at 1: with an empty pipe and zero send credit (a pure-SACK ACK
+  // whose delivery was already spent), pipe + sndcnt is 0, and a zero
+  // window would deadlock the connection until RTO (Linux warns on
+  // snd_cwnd == 0 for the same reason).
+  st.cwnd = std::max(
+      1u, pipe + static_cast<std::uint32_t>(std::max<std::int64_t>(0, sndcnt)));
 }
 
 void TcpConnection::MaybeUndo(TdnState& st) {
@@ -1048,6 +1113,7 @@ void TcpConnection::OnRtoFire() {
     }
   }
   rto_backoff_ = std::min(rto_backoff_ + 1, 8u);
+  RunChecker(TcpInvariantChecker::Event::kRto);
   MaybeSend();
   ArmRto();
 }

@@ -26,6 +26,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "tcp/invariant_checker.hpp"
 #include "tcp/receive_buffer.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "tcp/send_queue.hpp"
@@ -53,6 +54,20 @@ struct TcpConfig {
   bool relaxed_reordering = true;  // §3.4 heuristic       (ablation switch)
   bool per_tdn_rtt = true;         // §4.4 sample matching (ablation switch)
   bool synthesized_rto = true;     // §4.4 pessimistic RTO (ablation switch)
+
+  // --- robustness (§3.2: unreliable control plane) --------------------------
+  // Always-on accounting validation after every ACK/loss/RTO/TDN-switch
+  // event (see tcp/invariant_checker.hpp). Throws std::logic_error on the
+  // first corrupted counter.
+  bool invariant_checks = true;
+  // Data-path TDN inference: when a notification is lost, converge to the
+  // peer's TDN from the TD_DATA_ACK tags on incoming traffic. A switch is
+  // inferred only after `tdn_infer_packets` consecutive identically-tagged
+  // mismatches that persist longer than the reordering patience (1.5x the
+  // slowest sRTT), so in-flight stragglers from a genuine switch never
+  // trigger it.
+  bool tdn_inference = true;
+  std::uint32_t tdn_infer_packets = 4;
 
   // --- loss detection ---------------------------------------------------------
   bool sack_enabled = true;
@@ -110,6 +125,7 @@ struct TcpStats {
   std::uint64_t cross_tdn_exemptions = 0;  // §3.4 holes left un-marked
   std::uint64_t rtt_samples_dropped = 0;   // §4.4 type-3 samples discarded
   std::uint64_t tdn_switches = 0;
+  std::uint64_t tdn_inferred_switches = 0;  // recovered via data-path tags
   std::uint64_t acks_received = 0;
   std::uint64_t bytes_received = 0;        // receiver-side delivered to app
   std::uint64_t duplicate_segments = 0;    // receiver-side dup arrivals
@@ -190,6 +206,10 @@ class TcpConnection : public PacketSink {
   void SetSendReadyCallback(std::function<void()> fn) {
     on_send_ready_ = std::move(fn);
   }
+  // Fault-trace context for invariant-violation reports (the armed
+  // FaultInjector, when an experiment runs with a FaultPlan).
+  void SetFaultTraceSource(const FaultTraceSource* src) { fault_trace_ = src; }
+  const FaultTraceSource* fault_trace() const { return fault_trace_; }
 
   // --- introspection -----------------------------------------------------------
   State state() const { return state_; }
@@ -269,11 +289,21 @@ class TcpConnection : public PacketSink {
   void CancelTimers();
   SimTime RtoForSegment(const TxSegment& seg) const;
 
+  // --- TDN switching / inference ---------------------------------------------
+  // The switch itself (shared by notifications and data-path inference).
+  void SwitchActiveTdn(TdnId tdn);
+  // Observes the peer's TD_DATA_ACK tag on incoming traffic; infers a lost
+  // notification when a mismatch streak outlives the reordering patience.
+  void NotePeerTdn(TdnId tdn);
+
   // --- helpers ------------------------------------------------------------------
   TdnState& ActiveState() { return tdns_.active(); }
   TdnId ActiveTdn() const { return tdns_.active_id(); }
   bool IsCwndLimited() const;
   void NoteCircuitEcho(bool circuit);
+  void RunChecker(TcpInvariantChecker::Event ev) {
+    if (checker_) checker_->Check(*this, ev);
+  }
 
   Simulator& sim_;
   Host* host_;
@@ -329,6 +359,17 @@ class TcpConnection : public PacketSink {
   // --- reTCP circuit echo tracking ---------------------------------------------
   bool last_circuit_echo_ = false;
   bool circuit_echo_seen_ = false;
+
+  // --- invariant checking / fault context ---------------------------------------
+  std::unique_ptr<TcpInvariantChecker> checker_;
+  const FaultTraceSource* fault_trace_ = nullptr;
+
+  // --- data-path TDN inference (§3.2 robustness) ---------------------------------
+  TdnId peer_tdn_candidate_ = kNoTdn;
+  std::uint32_t peer_tdn_streak_ = 0;
+  SimTime peer_tdn_first_ = SimTime::Zero();
+  SimTime last_notify_time_ = SimTime::Zero();
+  bool notify_seen_ = false;
 
   // --- callbacks -------------------------------------------------------------------
   DeliverFn deliver_;

@@ -2,6 +2,8 @@
 // correctness (callbacks must observe their own event's time), determinism.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -162,6 +164,28 @@ TEST(Simulator, ZeroDelayRunsAfterCurrentEvent) {
   });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, ScheduleInThePastThrows) {
+  // A past-time schedule is always a caller bug (an event that could never
+  // fire in real time); it must fail loudly, not silently warp the clock or
+  // assert only in debug builds.
+  Simulator sim;
+  sim.Schedule(SimTime::Micros(10), [] {});
+  sim.RunUntil(SimTime::Micros(20));
+  EXPECT_THROW(sim.ScheduleAt(SimTime::Micros(5), [] {}), std::logic_error);
+  // The diagnostic names both times so the offending callsite is findable.
+  try {
+    sim.ScheduleAt(SimTime::Micros(5), [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("past"), std::string::npos);
+    EXPECT_NE(what.find("at="), std::string::npos);
+    EXPECT_NE(what.find("now="), std::string::npos);
+  }
+  // Scheduling exactly at `now` remains legal (zero-delay events).
+  EXPECT_NO_THROW(sim.ScheduleAt(sim.now(), [] {}));
 }
 
 TEST(Simulator, CancelPendingTimer) {

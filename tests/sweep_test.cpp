@@ -7,6 +7,8 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "app/result_io.hpp"
 #include "app/sweep.hpp"
@@ -280,6 +282,79 @@ TEST(ResultIo, ParseJsonHandlesWriterSubset) {
   EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
   EXPECT_EQ(v.Find("b")->string, "x\"y");
   EXPECT_EQ(v.Find("c")->Find("d")->type, JsonValue::Type::kNull);
+}
+
+TEST(ResultIo, MalformedInputIsRejectedNotUndefinedBehavior) {
+  // Each of these used to be UB or an uncaught std::stod/stoi exception;
+  // all must surface as a clear runtime_error.
+  const char* bad[] = {
+      "",                         // empty input
+      "{",                        // truncated object
+      "[1, 2",                    // truncated array
+      "{\"a\": }",                // missing value
+      "{\"a\" 1}",                // missing colon
+      "\"unterminated",           // unterminated string
+      "{\"a\": 1} trailing",      // trailing characters
+      "1e",                       // malformed number (stod would throw)
+      "-",                        // sign with no digits
+      "1.2.3",                    // number with junk suffix
+      "1e999999",                 // overflow
+      "\"\\uzzzz\"",              // non-hex \u escape
+      "\"\\u12",                  // truncated \u escape
+      "\"\\q\"",                  // unsupported escape
+      "nul",                      // truncated literal
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(ParseJson(text), std::runtime_error) << "input: " << text;
+  }
+}
+
+TEST(ResultIo, DeeplyNestedInputFailsInsteadOfOverflowingStack) {
+  // "[[[[..." would recurse once per byte without a depth limit.
+  const std::string bomb(100'000, '[');
+  EXPECT_THROW(ParseJson(bomb), std::runtime_error);
+  const std::string obj_bomb = [] {
+    std::string s;
+    for (int i = 0; i < 10'000; ++i) s += "{\"a\":";
+    return s;
+  }();
+  EXPECT_THROW(ParseJson(obj_bomb), std::runtime_error);
+}
+
+TEST(ResultIo, TruncatedSweepJsonAlwaysThrowsCleanly) {
+  // Fuzz-ish: every prefix of a real sweep document must either parse (only
+  // the full document can) or throw runtime_error — never crash or return
+  // garbage silently.
+  SweepSpec spec = TinySpec(1);
+  spec.variants = {Variant::kTdtcp};
+  spec.seeds = {1};
+  const std::string json = SweepToJson(RunSweep(spec));
+  // Step through prefixes coarsely (every 7th byte) to keep runtime small,
+  // plus the last 32 one-byte steps where the structure closes.
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < json.size(); n += 7) cuts.push_back(n);
+  for (std::size_t n = json.size() > 32 ? json.size() - 32 : 0;
+       n < json.size(); ++n) {
+    cuts.push_back(n);
+  }
+  for (std::size_t n : cuts) {
+    EXPECT_THROW(SweepFromJson(json.substr(0, n)), std::runtime_error)
+        << "prefix length " << n;
+  }
+  // Corrupted interior bytes: flip structural characters to junk. Any
+  // outcome is fine except UB: either it still parses (benign mutation) or
+  // it throws a clear exception (parse error, unknown variant name, ...).
+  for (std::size_t i = 0; i < json.size(); i += 11) {
+    std::string mutated = json;
+    mutated[i] = '?';
+    try {
+      SweepFromJson(mutated);
+    } catch (const std::exception&) {
+      // expected for structural corruption
+    }
+  }
+  // The intact document still parses.
+  EXPECT_NO_THROW(SweepFromJson(json));
 }
 
 TEST(ResultIo, FileRoundTripAndCsv) {
