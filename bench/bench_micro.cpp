@@ -3,9 +3,19 @@
 // 100 Gbps and supports reconfigurations on microsecond timescales" —
 // translated to this substrate: the simulator processes packet events far
 // faster than real time would require for protocol research.
+// Beyond the console table, `--out=PATH` writes the results as a
+// tdtcp-bench/1 JSON document (see app/result_io.hpp) for baseline tracking
+// with tools/bench_compare.py, and `--min-items-per-sec=N` turns the run
+// into a smoke test: exit nonzero if any item-rate benchmark falls below N.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "app/experiment.hpp"
+#include "app/result_io.hpp"
 #include "app/sweep.hpp"
 #include "cc/registry.hpp"
 #include "sim/random.hpp"
@@ -146,7 +156,105 @@ void BM_AckProcessing(benchmark::State& state) {
 }
 BENCHMARK(BM_AckProcessing);
 
+// Console output as usual, plus a machine-readable copy of every finished
+// run. Counter values arrive already finalized (rates resolved against cpu
+// time by the benchmark runner), so they are copied through untouched.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<BenchRun> collected;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      BenchRun b;
+      b.name = run.benchmark_name();
+      b.iterations = static_cast<double>(run.iterations);
+      const double iters =
+          run.iterations == 0 ? 1.0 : static_cast<double>(run.iterations);
+      b.real_time_ns = run.real_accumulated_time / iters * 1e9;
+      b.cpu_time_ns = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [name, c] : run.counters) {
+        if (name == "items_per_second") {
+          b.items_per_second = c.value;
+        } else {
+          b.counters[name] = c.value;
+        }
+      }
+      collected.push_back(std::move(b));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 }  // namespace tdtcp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path;
+  double min_items_per_sec = 0;
+  // Strip our flags before google-benchmark sees (and rejects) them.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--min-items-per-sec=", 20) == 0) {
+      min_items_per_sec = std::atof(arg + 20);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tdtcp::CollectingReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (ran == 0) {
+    std::fprintf(stderr, "bench_micro: no benchmarks matched the filter\n");
+    return 1;
+  }
+
+  tdtcp::BenchReport report;
+  report.context = "bench_micro";
+  report.runs = std::move(reporter.collected);
+
+  if (!out_path.empty()) {
+    tdtcp::WriteBenchJson(out_path, report);
+    // Validate the emitted document by round-tripping it through the reader;
+    // a write/parse mismatch here is a bug worth failing the run over.
+    try {
+      const tdtcp::BenchReport back = tdtcp::ReadBenchJson(out_path);
+      if (back.runs.size() != report.runs.size()) {
+        throw std::runtime_error("run count changed across round-trip");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_micro: invalid --out JSON: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s (%zu runs, schema %s)\n", out_path.c_str(),
+                report.runs.size(), tdtcp::kBenchSchemaVersion);
+  }
+
+  if (min_items_per_sec > 0) {
+    bool ok = false;
+    for (const tdtcp::BenchRun& r : report.runs) {
+      if (r.items_per_second == 0) continue;  // no item rate reported
+      if (r.items_per_second < min_items_per_sec) {
+        std::fprintf(stderr, "bench_micro: %s at %.0f items/s is below the %.0f floor\n",
+                     r.name.c_str(), r.items_per_second, min_items_per_sec);
+        return 1;
+      }
+      ok = true;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "bench_micro: --min-items-per-sec set but no benchmark "
+                   "reported an item rate\n");
+      return 1;
+    }
+  }
+
+  benchmark::Shutdown();
+  return 0;
+}

@@ -55,14 +55,29 @@ FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
   const SimTime week = Schedule(cfg.schedule).week_length();
   int started = 0;
   std::uint32_t slot = 2;
+  // The start events capture one pointer to this frame-local bundle instead
+  // of a fistful of references (events have a bounded inline capture).
+  struct StartEnv {
+    Simulator& sim;
+    Topology& topo;
+    TcpConfig& bg;
+    std::vector<std::unique_ptr<TcpConnection>>& conns;
+    FctStats& stats;
+    int& started;
+    std::uint64_t flow_bytes;
+  } env{sim, topo, bg, conns, stats, started, flow_bytes};
   for (int i = 0; i < flows_total; ++i) {
     const SimTime start = SimTime::Millis(2) + week * (i / 7) +
                           (week * (i % 7)) / 7;
     const std::uint32_t host_idx = slot;
     slot = 2 + (slot - 1) % (topo.config().hosts_per_rack - 2);
     const FlowId id = static_cast<FlowId>(1000 + i);
-    sim.ScheduleAt(start, [&, id, host_idx, start] {
-      TcpConfig sc = bg;
+    sim.ScheduleAt(start, [e = &env, id, host_idx, start] {
+      Simulator& sim = e->sim;
+      Topology& topo = e->topo;
+      FctStats& stats = e->stats;
+      const std::uint64_t flow_bytes = e->flow_bytes;
+      TcpConfig sc = e->bg;
       auto rx = std::make_unique<TcpConnection>(
           sim, topo.host(1, host_idx), id, topo.host_id(0, host_idx), sc);
       rx->Listen();
@@ -71,7 +86,7 @@ FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
       TcpConnection* tx_raw = tx.get();
       tx->Connect();
       tx->AddAppData(flow_bytes);
-      ++started;
+      ++e->started;
       // Poll completion cheaply.
       auto poller = std::make_shared<std::function<void()>>();
       *poller = [&stats, &sim, tx_raw, start, flow_bytes, poller] {
@@ -82,8 +97,8 @@ FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
         sim.Schedule(SimTime::Micros(20), *poller);
       };
       sim.Schedule(SimTime::Micros(20), *poller);
-      conns.push_back(std::move(rx));
-      conns.push_back(std::move(tx));
+      e->conns.push_back(std::move(rx));
+      e->conns.push_back(std::move(tx));
     });
   }
 

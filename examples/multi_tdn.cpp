@@ -36,25 +36,35 @@ int main() {
   // Drive the fabric by hand: 6 x 200us slots, nights of 20us.
   FabricPort* fwd = topo.port(0, 1);
   FabricPort* rev = topo.port(1, 0);
-  std::function<void(int)> run_day = [&](int day) {
+  // Events carry a single pointer to this bundle (bounded inline capture).
+  struct DayEnv {
+    Simulator& sim;
+    Topology& topo;
+    FabricPort* fwd;
+    FabricPort* rev;
+    std::function<void(int)> run_day;
+  } env{sim, topo, fwd, rev, {}};
+  env.run_day = [e = &env, &packet, &slow_optical, &fast_optical](int day) {
     const NetworkMode& mode =
         day == 2 ? slow_optical : (day == 5 ? fast_optical : packet);
-    fwd->SetMode(mode);
-    rev->SetMode(mode);
-    fwd->SetBlackout(false);
-    rev->SetBlackout(false);
-    topo.tor(0)->NotifyHosts(mode.tdn);
-    topo.tor(1)->NotifyHosts(mode.tdn);
-    sim.Schedule(SimTime::Micros(180), [&, day] {
-      fwd->SetBlackout(true);
-      rev->SetBlackout(true);
-      if (mode.tdn != 0) {
-        topo.tor(0)->NotifyHosts(0);
-        topo.tor(1)->NotifyHosts(0);
+    e->fwd->SetMode(mode);
+    e->rev->SetMode(mode);
+    e->fwd->SetBlackout(false);
+    e->rev->SetBlackout(false);
+    e->topo.tor(0)->NotifyHosts(mode.tdn);
+    e->topo.tor(1)->NotifyHosts(mode.tdn);
+    e->sim.Schedule(SimTime::Micros(180), [e, day, tdn = mode.tdn] {
+      e->fwd->SetBlackout(true);
+      e->rev->SetBlackout(true);
+      if (tdn != 0) {
+        e->topo.tor(0)->NotifyHosts(0);
+        e->topo.tor(1)->NotifyHosts(0);
       }
-      sim.Schedule(SimTime::Micros(20), [&, day] { run_day((day + 1) % 6); });
+      e->sim.Schedule(SimTime::Micros(20),
+                      [e, day] { e->run_day((day + 1) % 6); });
     });
   };
+  std::function<void(int)>& run_day = env.run_day;
 
   TcpConfig cfg;
   cfg.mss = 8940;

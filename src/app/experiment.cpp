@@ -104,7 +104,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   // Goodput measurement window: [warmup, duration].
   std::uint64_t bytes_at_warmup = 0;
-  sim.Schedule(config.warmup, [&] { bytes_at_warmup = workload.total_bytes_acked(); });
+  sim.ScheduleNoCancel(config.warmup, [&] { bytes_at_warmup = workload.total_bytes_acked(); });
 
   sim.RunUntil(config.duration);
 

@@ -409,6 +409,94 @@ SweepResult ReadSweepJson(const std::string& path) {
   return SweepFromJson(text);
 }
 
+// --- microbenchmark serialization -------------------------------------------
+
+const BenchRun* BenchReport::Find(const std::string& name) const {
+  for (const BenchRun& r : runs) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string BenchToJson(const BenchReport& report) {
+  std::string out;
+  out += "{\"schema\":\"";
+  out += kBenchSchemaVersion;
+  out += "\",\"context\":\"" + EscapeJson(report.context) + "\"";
+  out += ",\"runs\":[";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const BenchRun& r = report.runs[i];
+    if (i) out += ",";
+    out += "{\"name\":\"" + EscapeJson(r.name) + "\"";
+    out += ",\"real_time_ns\":" + NumberToJson(r.real_time_ns);
+    out += ",\"cpu_time_ns\":" + NumberToJson(r.cpu_time_ns);
+    out += ",\"iterations\":" + NumberToJson(r.iterations);
+    out += ",\"items_per_second\":" + NumberToJson(r.items_per_second);
+    out += ",\"counters\":{";
+    std::size_t c = 0;
+    for (const auto& [name, value] : r.counters) {
+      if (c++) out += ",";
+      out += "\"" + EscapeJson(name) + "\":" + NumberToJson(value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void WriteBenchJson(const std::string& path, const BenchReport& report) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const std::string json = BenchToJson(report);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+BenchReport BenchFromJson(const std::string& json) {
+  const JsonValue doc = ParseJson(json);
+  const JsonValue* schema = doc.Find("schema");
+  if (!schema || schema->string != kBenchSchemaVersion) {
+    throw std::runtime_error("tdtcp-bench: unsupported schema");
+  }
+  BenchReport out;
+  if (const JsonValue* v = doc.Find("context")) out.context = v->string;
+  const JsonValue* runs = doc.Find("runs");
+  if (!runs || runs->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("tdtcp-bench: missing runs");
+  }
+  for (const JsonValue& jr : runs->array) {
+    BenchRun r;
+    const JsonValue* name = jr.Find("name");
+    if (!name || name->type != JsonValue::Type::kString || name->string.empty()) {
+      throw std::runtime_error("tdtcp-bench: run without a name");
+    }
+    r.name = name->string;
+    r.real_time_ns = RequireNumber(jr, "real_time_ns");
+    r.cpu_time_ns = RequireNumber(jr, "cpu_time_ns");
+    r.iterations = RequireNumber(jr, "iterations");
+    r.items_per_second = RequireNumber(jr, "items_per_second");
+    if (const JsonValue* counters = jr.Find("counters")) {
+      for (const auto& [cname, value] : counters->object) {
+        r.counters[cname] = value.NumberOr(0);
+      }
+    }
+    out.runs.push_back(std::move(r));
+  }
+  return out;
+}
+
+BenchReport ReadBenchJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return BenchFromJson(text);
+}
+
 // --- CSV --------------------------------------------------------------------
 
 void WriteSweepCsv(const std::string& path, const SweepResult& sweep) {

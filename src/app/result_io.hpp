@@ -62,4 +62,35 @@ SweepResult ReadSweepJson(const std::string& path);
 // then one "aggregate" row per cell with mean/stddev/ci95 triplets.
 void WriteSweepCsv(const std::string& path, const SweepResult& sweep);
 
+// --- microbenchmark serialization -------------------------------------------
+//
+// JSON schema "tdtcp-bench/1": one document per bench_micro invocation. The
+// tracked baseline BENCH_sim_core.json at the repo root uses this schema, and
+// tools/bench_compare.py diffs two such documents.
+
+inline constexpr const char* kBenchSchemaVersion = "tdtcp-bench/1";
+
+struct BenchRun {
+  std::string name;            // e.g. "BM_EventQueueScheduleRun/1024"
+  double real_time_ns = 0;     // wall time per iteration
+  double cpu_time_ns = 0;      // cpu time per iteration
+  double iterations = 0;
+  double items_per_second = 0;  // 0 when the benchmark reports no item rate
+  std::map<std::string, double> counters;  // finished (rate-resolved) values
+};
+
+struct BenchReport {
+  std::string context;  // free-form host/build description
+  std::vector<BenchRun> runs;
+
+  const BenchRun* Find(const std::string& name) const;
+};
+
+std::string BenchToJson(const BenchReport& report);
+void WriteBenchJson(const std::string& path, const BenchReport& report);
+
+// Throws std::runtime_error on schema mismatch or missing fields.
+BenchReport BenchFromJson(const std::string& json);
+BenchReport ReadBenchJson(const std::string& path);
+
 }  // namespace tdtcp

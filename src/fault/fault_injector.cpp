@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/hash.hpp"
+
 namespace tdtcp {
 
 const char* FaultKindName(FaultKind kind) {
@@ -76,12 +78,12 @@ void FaultInjector::Arm(Topology& topo) {
     if (w.rack >= racks || w.duration.IsZero()) continue;
     Link* link = w.uplink ? topo.rack_uplink(w.rack) : topo.rack_downlink(w.rack);
     const std::uint32_t rack = w.rack;
-    sim_.ScheduleAt(w.down_at, [this, link, rack] {
+    sim_.ScheduleAtNoCancel(w.down_at, [this, link, rack] {
       link->set_enabled(false);
       ++stats_.link_transitions;
       Record(FaultKind::kLinkDown, 0, rack);
     });
-    sim_.ScheduleAt(w.down_at + w.duration, [this, link, rack] {
+    sim_.ScheduleAtNoCancel(w.down_at + w.duration, [this, link, rack] {
       link->set_enabled(true);
       ++stats_.link_transitions;
       Record(FaultKind::kLinkUp, 0, rack);
@@ -170,20 +172,14 @@ void FaultInjector::Record(FaultKind kind, std::uint64_t packet_id,
 }
 
 std::uint64_t FaultInjector::TraceHash() const {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
+  Fnv1a64 h;
   for (const FaultEvent& e : trace_) {
-    mix(static_cast<std::uint64_t>(e.at.picos()));
-    mix(static_cast<std::uint64_t>(e.kind));
-    mix(e.packet_id);
-    mix(e.subject);
+    h.Mix(static_cast<std::uint64_t>(e.at.picos()));
+    h.Mix(static_cast<std::uint64_t>(e.kind));
+    h.Mix(e.packet_id);
+    h.Mix(e.subject);
   }
-  return h;
+  return h.value();
 }
 
 void FaultInjector::DumpRecentFaults(std::FILE* out,
@@ -201,7 +197,7 @@ void FaultInjector::DumpRecentFaults(std::FILE* out,
 }
 
 void FaultInjector::ScheduleAudit() {
-  sim_.Schedule(plan_.audit_interval, [this] {
+  sim_.ScheduleNoCancel(plan_.audit_interval, [this] {
     Audit();
     ScheduleAudit();
   });

@@ -19,7 +19,7 @@ void FabricPort::SetMode(const NetworkMode& mode) {
   // (this is what strands an MPTCP subflow's tail ACKs for a whole week,
   // §2.2), and pull in stashed packets whose network just came up.
   if (!voq_.Empty()) {
-    std::deque<Packet> keep;
+    keep_scratch_.clear();
     while (auto p = voq_.Dequeue()) {
       if (p->pinned_path != kUnpinned && p->pinned_path != active_path()) {
         auto& stash = stash_[p->pinned_path];
@@ -29,10 +29,11 @@ void FabricPort::SetMode(const NetworkMode& mode) {
           stash.push_back(std::move(*p));
         }
       } else {
-        keep.push_back(std::move(*p));
+        keep_scratch_.push_back(std::move(*p));
       }
     }
-    for (auto& p : keep) voq_.Enqueue(std::move(p));
+    for (auto& p : keep_scratch_) voq_.Enqueue(std::move(p));
+    keep_scratch_.clear();
   }
   TopUpFromStash();
   MaybeTransmit();
@@ -74,24 +75,30 @@ void FabricPort::MaybeTransmit() {
   if (busy_ || blackout_) return;
   TopUpFromStash();
   if (voq_.Empty()) return;
-  Packet p = *voq_.Dequeue();
+  // Park the in-flight packet in the simulator's freelist so each hop's
+  // event captures one pointer, not a Packet copy.
+  Packet* p = sim_.StashPacket(std::move(*voq_.Dequeue()));
   // reTCP switch support: stamp which network carried this packet.
-  p.circuit_mark = mode_.circuit;
+  p->circuit_mark = mode_.circuit;
   busy_ = true;
-  const SimTime tx = TransmissionTime(p.size_bytes, mode_.rate_bps);
-  sim_.Schedule(tx, [this, p = std::move(p)]() mutable {
+  const SimTime tx = TransmissionTime(p->size_bytes, mode_.rate_bps);
+  sim_.ScheduleNoCancel(tx, [this, p] {
     busy_ = false;
-    if (fault_filter_ && fault_filter_(p)) {
+    if (has_fault_filter_ && fault_filter_(*p)) {
       ++fault_dropped_;  // lost on the wire
+      sim_.ReleasePacket(p);
       MaybeTransmit();
       return;
     }
+    // Propagation parameters are read at serialization-complete time: a mode
+    // change during serialization affects this packet's flight, as before.
     SimTime prop = mode_.propagation;
     if (!config_.reorder_jitter.IsZero() && rng_ != nullptr) {
       prop += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);
     }
-    sim_.Schedule(prop, [this, p = std::move(p)]() mutable {
-      remote_->HandlePacket(std::move(p));
+    sim_.ScheduleNoCancel(prop, [this, p] {
+      remote_->HandlePacket(std::move(*p));
+      sim_.ReleasePacket(p);
     });
     MaybeTransmit();
   });

@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/node.hpp"
 #include "net/queue.hpp"
@@ -66,7 +67,10 @@ class FabricPort {
   // Fault-injection hook (src/fault): consulted once per packet after it
   // finishes serializing, before propagation. Returning true drops it.
   using FaultFilter = std::function<bool(const Packet&)>;
-  void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+  void SetFaultFilter(FaultFilter filter) {
+    fault_filter_ = std::move(filter);
+    has_fault_filter_ = static_cast<bool>(fault_filter_);
+  }
   std::uint64_t fault_dropped() const { return fault_dropped_; }
 
   const std::string& name() const { return config_.name; }
@@ -87,7 +91,11 @@ class FabricPort {
   bool blackout_ = false;
   bool busy_ = false;
   std::deque<Packet> stash_[2];
+  // Scratch for SetMode's VOQ repack; a member so mode flips (4x per RDCN
+  // week per port) reuse its capacity instead of allocating a fresh deque.
+  std::vector<Packet> keep_scratch_;
   FaultFilter fault_filter_;
+  bool has_fault_filter_ = false;
   std::uint64_t pinned_dropped_ = 0;
   std::uint64_t fault_dropped_ = 0;
 };

@@ -54,12 +54,12 @@ void Host::DistributeTdn(TdnId tdn, bool imminent, RackId peer) {
   for (std::size_t i = 0; i < tdn_listeners_.size(); ++i) {
     if (!matches(tdn_listeners_[i])) continue;
     const void* owner = tdn_listeners_[i].owner;
-    sim_.Schedule(notify_.push_stagger * static_cast<std::int64_t>(i),
-                  [this, owner, tdn, imminent] {
-                    for (auto& l : tdn_listeners_) {
-                      if (l.owner == owner) l.fn(tdn, imminent);
-                    }
-                  });
+    sim_.ScheduleNoCancel(notify_.push_stagger * static_cast<std::int64_t>(i),
+                          [this, owner, tdn, imminent] {
+                            for (auto& l : tdn_listeners_) {
+                              if (l.owner == owner) l.fn(tdn, imminent);
+                            }
+                          });
   }
 }
 

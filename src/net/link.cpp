@@ -26,19 +26,22 @@ void Link::set_enabled(bool enabled) {
 
 void Link::MaybeTransmit() {
   if (busy_ || !enabled_ || queue_.Empty()) return;
-  Packet p = *queue_.Dequeue();
+  // Park the in-flight packet in the simulator's freelist so the event
+  // captures one pointer, not a Packet copy.
+  Packet* p = sim_.StashPacket(std::move(*queue_.Dequeue()));
   busy_ = true;
-  const SimTime tx = TransmissionTime(p.size_bytes, config_.rate_bps);
-  sim_.Schedule(tx, [this, p = std::move(p)]() mutable {
+  const SimTime tx = TransmissionTime(p->size_bytes, config_.rate_bps);
+  sim_.ScheduleNoCancel(tx, [this, p] {
     busy_ = false;
-    Deliver(std::move(p));
+    Deliver(p);
     MaybeTransmit();
   });
 }
 
-void Link::Deliver(Packet&& p) {
-  if (fault_filter_ && fault_filter_(p)) {
+void Link::Deliver(Packet* p) {
+  if (has_fault_filter_ && fault_filter_(*p)) {
     ++fault_dropped_;
+    sim_.ReleasePacket(p);
     return;  // lost on the wire
   }
   SimTime delay = config_.propagation;
@@ -46,8 +49,9 @@ void Link::Deliver(Packet&& p) {
     delay += rng_->UniformTime(SimTime::Zero(), config_.reorder_jitter);
   }
   ++delivered_;
-  sim_.Schedule(delay, [this, p = std::move(p)]() mutable {
-    sink_->HandlePacket(std::move(p));
+  sim_.ScheduleNoCancel(delay, [this, p] {
+    sink_->HandlePacket(std::move(*p));
+    sim_.ReleasePacket(p);
   });
 }
 

@@ -5,43 +5,55 @@
 
 namespace tdtcp {
 
+void Queue::Grow() {
+  std::vector<Packet> bigger(std::max<std::size_t>(8, ring_.size() * 2));
+  for (std::size_t i = 0; i < count_; ++i) {
+    bigger[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
+}
+
 bool Queue::Enqueue(Packet&& p) {
-  if (q_.size() >= config_.capacity_packets) {
+  if (count_ >= config_.capacity_packets) {
     ++stats_.dropped;
     return false;
   }
-  if (q_.size() >= config_.ecn_threshold_packets && p.ecn == Ecn::kEct0) {
+  if (count_ >= config_.ecn_threshold_packets && p.ecn == Ecn::kEct0) {
     p.ecn = Ecn::kCe;
     ++stats_.ce_marked;
   }
-  q_.push_back(std::move(p));
+  if (count_ == ring_.size()) Grow();
+  ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(p);
+  ++count_;
   ++stats_.enqueued;
   stats_.max_occupancy =
-      std::max(stats_.max_occupancy, static_cast<std::uint32_t>(q_.size()));
+      std::max(stats_.max_occupancy, static_cast<std::uint32_t>(count_));
   return true;
 }
 
 std::optional<Packet> Queue::Dequeue() {
-  if (q_.empty()) return std::nullopt;
-  Packet p = std::move(q_.front());
-  q_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  std::optional<Packet> p(std::move(ring_[head_]));
+  head_ = (head_ + 1) & (ring_.size() - 1);
+  --count_;
   if (shrink_watermark_ != 0) {
     // The post-shrink overshoot only ever drains: tighten the watermark with
     // the occupancy and clear it once we are back within capacity.
-    if (q_.size() <= config_.capacity_packets) {
+    if (count_ <= config_.capacity_packets) {
       shrink_watermark_ = 0;
     } else {
       shrink_watermark_ =
-          std::min(shrink_watermark_, static_cast<std::uint32_t>(q_.size()));
+          std::min(shrink_watermark_, static_cast<std::uint32_t>(count_));
     }
   }
   return p;
 }
 
 void Queue::set_capacity(std::uint32_t packets) {
-  if (q_.size() > packets) {
-    stats_.shrink_deferred += q_.size() - packets;
-    shrink_watermark_ = static_cast<std::uint32_t>(q_.size());
+  if (count_ > packets) {
+    stats_.shrink_deferred += count_ - packets;
+    shrink_watermark_ = static_cast<std::uint32_t>(count_);
   } else {
     shrink_watermark_ = 0;
   }

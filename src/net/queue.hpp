@@ -7,9 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -42,10 +42,10 @@ class Queue {
   bool Enqueue(Packet&& p);
 
   std::optional<Packet> Dequeue();
-  const Packet* Peek() const { return q_.empty() ? nullptr : &q_.front(); }
+  const Packet* Peek() const { return count_ == 0 ? nullptr : &ring_[head_]; }
 
-  bool Empty() const { return q_.empty(); }
-  std::uint32_t occupancy() const { return static_cast<std::uint32_t>(q_.size()); }
+  bool Empty() const { return count_ == 0; }
+  std::uint32_t occupancy() const { return static_cast<std::uint32_t>(count_); }
   std::uint32_t capacity() const { return config_.capacity_packets; }
 
   // Runtime resize (reTCPdyn, paper section 5.2). Shrinking below the current
@@ -63,14 +63,20 @@ class Queue {
   // after a drain-then-shrink where the bound is the occupancy at shrink
   // time (monotonically non-increasing until it reaches capacity again).
   bool WithinBound() const {
-    return q_.size() <= std::max(config_.capacity_packets, shrink_watermark_);
+    return count_ <= std::max(config_.capacity_packets, shrink_watermark_);
   }
 
   const Stats& stats() const { return stats_; }
 
  private:
+  // Grows the circular buffer (power-of-two sizes). Called only when
+  // occupancy reaches a new high-water mark; steady state never allocates.
+  void Grow();
+
   Config config_;
-  std::deque<Packet> q_;
+  std::vector<Packet> ring_;  // circular packet storage
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   Stats stats_;
   // Non-zero only while draining after a shrink below occupancy.
   std::uint32_t shrink_watermark_ = 0;

@@ -18,6 +18,9 @@ Topology::Topology(Simulator& sim, Random& rng, const TopologyConfig& config)
     tors_.push_back(std::make_unique<ToRSwitch>(sim, r, config.notify, &rng));
     tors_.back()->SetRackResolver(
         [hpr = config.hosts_per_rack](NodeId id) { return id / hpr; });
+    // The builder numbers hosts rack-major and attaches them in id order, so
+    // the ToR can route with arithmetic instead of the resolver above.
+    tors_.back()->SetUniformRackSize(config.hosts_per_rack);
   }
 
   // Rack machine NICs (shared by all hosts in the rack, per Fig. 6).

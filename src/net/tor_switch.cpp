@@ -19,10 +19,24 @@ FabricPort* ToRSwitch::AddRemoteRack(RackId rack, FabricPort::Config config,
 }
 
 void ToRSwitch::HandlePacket(Packet&& p) {
-  assert(rack_of_ && "rack resolver not installed");
   ++forwarded_;
-  const RackId dst_rack = rack_of_(p.dst);
+  RackId dst_rack;
+  if (hosts_per_rack_ != 0) {
+    dst_rack = static_cast<RackId>(p.dst / hosts_per_rack_);
+  } else {
+    assert(rack_of_ && "rack resolver not installed");
+    dst_rack = rack_of_(p.dst);
+  }
   if (dst_rack == rack_) {
+    if (hosts_per_rack_ != 0) {
+      // Uniform topology: host slots are attached in id order, so the
+      // downlink index is arithmetic, not a hash probe.
+      const std::size_t idx = static_cast<std::size_t>(p.dst % hosts_per_rack_);
+      if (idx < hosts_.size() && hosts_[idx].id == p.dst) {
+        hosts_[idx].downlink->Enqueue(std::move(p));
+        return;
+      }
+    }
     auto it = host_index_.find(p.dst);
     assert(it != host_index_.end() && "unknown local host");
     hosts_[it->second].downlink->Enqueue(std::move(p));
@@ -47,7 +61,6 @@ void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer,
                             std::uint64_t seq) {
   last_notify_latency_.assign(hosts_.size(), SimTime::Zero());
   SimTime accumulated = SimTime::Zero();
-  std::vector<SimTime> deliveries;
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     accumulated += SampleGenDelay();
     last_notify_latency_[i] = accumulated;
@@ -63,22 +76,30 @@ void ToRSwitch::NotifyHosts(TdnId tdn, bool imminent, RackId peer,
     icmp.notify_seq = seq;
     ++notifications_sent_;
 
-    deliveries.clear();
-    if (notify_fault_) {
-      notify_fault_(icmp, accumulated, deliveries);
+    deliveries_scratch_.clear();
+    if (has_notify_fault_) {
+      notify_fault_(icmp, accumulated, deliveries_scratch_);
     } else {
-      deliveries.push_back(accumulated);
+      deliveries_scratch_.push_back(accumulated);
     }
-    for (SimTime when : deliveries) {
+    for (SimTime when : deliveries_scratch_) {
+      // Each delivery owns a pooled copy of the ICMP, so the event captures
+      // pointers instead of a whole Packet (which would not fit the inline
+      // event buffer anyway).
+      Packet* stashed = sim_.StashPacket(Packet(icmp));
       if (notify_.via_control_network) {
         PacketSink* sink = hosts_[i].control;
-        sim_.Schedule(when + notify_.control_delay,
-                      [sink, icmp]() mutable { sink->HandlePacket(std::move(icmp)); });
+        sim_.ScheduleNoCancel(when + notify_.control_delay, [this, sink, stashed] {
+          sink->HandlePacket(std::move(*stashed));
+          sim_.ReleasePacket(stashed);
+        });
       } else {
         // Data-plane delivery: the ICMP rides the (possibly busy) downlink.
         Link* down = hosts_[i].downlink;
-        sim_.Schedule(when,
-                      [down, icmp]() mutable { down->Enqueue(std::move(icmp)); });
+        sim_.ScheduleNoCancel(when, [this, down, stashed] {
+          down->Enqueue(std::move(*stashed));
+          sim_.ReleasePacket(stashed);
+        });
       }
     }
   }

@@ -57,6 +57,14 @@ class ToRSwitch : public PacketSink {
     rack_of_ = std::move(resolver);
   }
 
+  // Uniform-topology fast path: when every rack holds `hosts_per_rack`
+  // consecutively numbered hosts, routing is pure arithmetic and the
+  // per-packet std::function resolver is bypassed entirely. Zero disables
+  // the fast path (irregular topologies fall back to the resolver).
+  void SetUniformRackSize(std::uint32_t hosts_per_rack) {
+    hosts_per_rack_ = hosts_per_rack;
+  }
+
   void HandlePacket(Packet&& p) override;
 
   // Emits a TDN-change notification to every attached host. Generation cost
@@ -77,6 +85,7 @@ class ToRSwitch : public PacketSink {
       const Packet& icmp, SimTime base_delay, std::vector<SimTime>& delays_out)>;
   void SetNotifyFaultHook(NotifyFaultHook hook) {
     notify_fault_ = std::move(hook);
+    has_notify_fault_ = static_cast<bool>(notify_fault_);
   }
 
   FabricPort* port(RackId rack) { return ports_.at(rack).get(); }
@@ -108,10 +117,14 @@ class ToRSwitch : public PacketSink {
   std::unordered_map<NodeId, std::size_t> host_index_;
   std::unordered_map<RackId, std::unique_ptr<FabricPort>> ports_;
   std::function<RackId(NodeId)> rack_of_;
+  std::uint32_t hosts_per_rack_ = 0;  // 0 = use rack_of_
   NotifyFaultHook notify_fault_;
+  bool has_notify_fault_ = false;
   std::uint64_t forwarded_ = 0;
   std::uint64_t notifications_sent_ = 0;
   std::vector<SimTime> last_notify_latency_;
+  // Scratch for NotifyHosts fault-hook delivery times (reused per host).
+  std::vector<SimTime> deliveries_scratch_;
 };
 
 }  // namespace tdtcp

@@ -41,7 +41,7 @@ void RdcnController::RunDay(std::uint32_t day_index) {
       const SimTime until_next_day = config_.schedule.day_length +
                                      config_.schedule.night_length;
       if (until_next_day > config_.resize_advance) {
-        sim_.Schedule(until_next_day - config_.resize_advance, [this] {
+        sim_.ScheduleNoCancel(until_next_day - config_.resize_advance, [this] {
           ResizeVoqs(config_.enlarged_voq_packets);
           NotifyAll(ports_.front()->mode().tdn, /*imminent=*/true);
         });
@@ -49,8 +49,8 @@ void RdcnController::RunDay(std::uint32_t day_index) {
     }
   }
 
-  sim_.Schedule(config_.schedule.day_length,
-                [this, day_index] { RunNight(day_index); });
+  sim_.ScheduleNoCancel(config_.schedule.day_length,
+                        [this, day_index] { RunNight(day_index); });
 }
 
 void RdcnController::RunNight(std::uint32_t day_index) {
@@ -62,7 +62,7 @@ void RdcnController::RunNight(std::uint32_t day_index) {
     if (config_.dynamic_voq) ResizeVoqs(normal_voq_packets_);
   }
   const std::uint32_t next = (day_index + 1) % config_.schedule.num_days;
-  sim_.Schedule(config_.schedule.night_length, [this, next] { RunDay(next); });
+  sim_.ScheduleNoCancel(config_.schedule.night_length, [this, next] { RunDay(next); });
 }
 
 void RdcnController::NotifyAll(TdnId tdn, bool imminent) {

@@ -59,7 +59,7 @@ void RotorController::RunDay(std::uint32_t day) {
       }
     }
   }
-  sim_.Schedule(config_.day_length, [this, day] { RunNight(day); });
+  sim_.ScheduleNoCancel(config_.day_length, [this, day] { RunNight(day); });
 }
 
 void RotorController::RunNight(std::uint32_t day) {
@@ -75,7 +75,7 @@ void RotorController::RunNight(std::uint32_t day) {
                                /*peer=*/matching[a], ++notify_seq_);
   }
   const std::uint32_t next = (day + 1) % matchings_.size();
-  sim_.Schedule(config_.night_length, [this, next] { RunDay(next); });
+  sim_.ScheduleNoCancel(config_.night_length, [this, next] { RunDay(next); });
 }
 
 }  // namespace tdtcp

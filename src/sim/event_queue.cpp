@@ -1,41 +1,250 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
 
 namespace tdtcp {
+namespace {
 
-EventId EventQueue::Schedule(SimTime at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Event{at, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+// Below this many heap entries a compaction pass costs more than it saves.
+constexpr std::size_t kCompactMinHeap = 64;
+
+}  // namespace
+
+EventQueue::EntryBuf::~EntryBuf() {
+  if (raw_ != nullptr) ::operator delete(raw_, std::align_val_t{64});
 }
 
-void EventQueue::Cancel(EventId id) {
-  live_.erase(id);
+void EventQueue::EntryBuf::Grow() {
+  static_assert(sizeof(Entry) == 16 && std::is_trivially_copyable_v<Entry>);
+  const std::size_t ncap = std::max<std::size_t>(64, cap_ * 2);
+  void* nraw = ::operator new((kPad + ncap) * sizeof(Entry), std::align_val_t{64});
+  Entry* ndata = static_cast<Entry*>(nraw) + kPad;
+  if (size_ != 0) std::memcpy(ndata, data_, size_ * sizeof(Entry));
+  if (raw_ != nullptr) ::operator delete(raw_, std::align_val_t{64});
+  raw_ = nraw;
+  data_ = ndata;
+  cap_ = ncap;
 }
 
-void EventQueue::DropDeadHead() {
-  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
-    heap_.pop();
+void EventQueue::GrowSlab() {
+  if (slot_blocks_.size() * kSlotBlock >= kMaxSlots) {
+    throw std::length_error(
+        "EventQueue: too many concurrent pending events (kMaxSlots)");
+  }
+  auto block = std::make_unique<Slot[]>(kSlotBlock);
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(slot_blocks_.size() * kSlotBlock);
+  slot_blocks_.push_back(std::move(block));
+  free_slots_.reserve(slot_blocks_.size() * kSlotBlock);
+  for (std::size_t i = kSlotBlock; i-- > 0;) {
+    free_slots_.push_back(base + static_cast<std::uint32_t>(i));
   }
 }
 
+void EventQueue::ThrowSeqExhausted() const {
+  throw std::length_error("EventQueue: schedule sequence space exhausted");
+}
+
+void EventQueue::Cancel(EventId id) {
+  const std::uint32_t slot = SlotOf(id);
+  if (slot >= slab_size_for_test()) return;  // never existed
+  Slot& s = SlotRef(slot);
+  // A live slot's tag equals the id's sequence number; anything else means
+  // the event already fired, was already cancelled, or the id is bogus. A
+  // free slot's tag is 0, which only the (invalid) zero sequence matches.
+  const std::uint64_t seq = SeqOf(id);
+  if (seq == 0 || (s.live & ~kLaneFlag) != seq) return;
+  const bool was_lane = (s.live & kLaneFlag) != 0;
+  s.fn.Reset();  // destroy the capture eagerly; the entry is now dead
+  s.live = 0;
+  free_slots_.push_back(slot);
+  --live_count_;
+  if (was_lane) {
+    ++lane_dead_;
+  } else {
+    ++heap_dead_;
+    MaybeCompact();
+  }
+}
+
+// The heap is 4-ary: half the dependent levels of a binary heap, and the
+// four 16-byte children of a node share one cache line, so the
+// deeper-but-narrower compare fan costs less than it saves in latency on
+// large heaps. Arity is invisible to firing order — (at, key) is a strict
+// total order, so any valid heap pops the same sequence.
+void EventQueue::SiftUp(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!After(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  // Bottom-up sift (Floyd): walk the hole down the min-child path to a leaf,
+  // then bubble the displaced element back up. HeapPopTop feeds this a leaf
+  // element that nearly always belongs back near the bottom, so the
+  // bubble-up is short and the early-exit compare per level is saved.
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  std::size_t hole = i;
+  for (;;) {
+    const std::size_t first = kHeapArity * hole + 1;
+    if (first >= n) break;
+    std::size_t best;
+    if (first + kHeapArity <= n) {
+      // Full node: tournament min — the two pair-compares are independent,
+      // and with the branchless comparator each pick is a cmov.
+      const std::size_t a = After(heap_[first], heap_[first + 1])
+                                ? first + 1 : first;
+      const std::size_t b = After(heap_[first + 2], heap_[first + 3])
+                                ? first + 3 : first + 2;
+      best = After(heap_[a], heap_[b]) ? b : a;
+    } else {
+      best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (After(heap_[best], heap_[c])) best = c;
+      }
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > i) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (!After(heap_[parent], e)) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void EventQueue::HeapPopTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::DropDeadHeads() {
+  // The dead counters gate the slot probes: with no pending cancellations
+  // (the common case) this is two compare-to-zero branches, no slab reads.
+  if (lane_dead_ != 0) {
+    while (lane_count_ != 0 && EntryDead(lane_[lane_head_])) {
+      LanePop();
+      --lane_dead_;
+    }
+  }
+  if (heap_dead_ != 0) {
+    while (!heap_.empty() && EntryDead(heap_.front())) {
+      HeapPopTop();
+      --heap_dead_;
+    }
+  }
+}
+
+void EventQueue::MaybeCompact() {
+  if (heap_.size() < kCompactMinHeap || heap_dead_ * 2 <= heap_.size()) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < heap_.size(); ++r) {
+    if (!EntryDead(heap_[r])) heap_[w++] = heap_[r];
+  }
+  heap_.resize_down(w);
+  // Floyd heapify: O(n), and the pass runs at most once per half-heap of
+  // cancellations. Every index >= size/arity is a leaf.
+  for (std::size_t i = heap_.size() / kHeapArity + 1; i-- > 0;) {
+    if (i < heap_.size()) SiftDown(i);
+  }
+  heap_dead_ = 0;
+}
+
 SimTime EventQueue::NextTime() {
-  DropDeadHead();
-  return heap_.empty() ? SimTime::Max() : heap_.top().at;
+  DropDeadHeads();
+  const Entry* lane = LaneFront();
+  if (lane == nullptr) {
+    return heap_.empty() ? SimTime::Max() : heap_.front().at;
+  }
+  // Lane entries were scheduled at what was then "now", which can only be at
+  // or before every heap entry's time.
+  return lane->at;
+}
+
+EventQueue::Entry EventQueue::TakeNextEntry() {
+  DropDeadHeads();
+  assert(live_count_ > 0);
+  const Entry* lane = LaneFront();
+  bool use_lane;
+  if (lane != nullptr && !heap_.empty()) {
+    // A heap entry at the same instant with a smaller sequence number was
+    // scheduled earlier and must keep its FIFO position.
+    use_lane = After(heap_.front(), *lane);
+  } else {
+    use_lane = lane != nullptr;
+  }
+  Entry e;
+  if (use_lane) {
+    e = *lane;
+    LanePop();
+  } else {
+    e = heap_.front();
+    // The winner's slot line is needed right after the structural pop;
+    // kicking the fetch off here hides it behind the whole sift-down.
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&SlotRef(SlotOf(e.key)), 1 /*write*/);
+#endif
+    HeapPopTop();
+  }
+  return e;
 }
 
 EventQueue::Event EventQueue::PopNext() {
-  DropDeadHead();
-  assert(!heap_.empty());
-  // Move the callback out before popping: the callback may schedule events,
-  // and we must not hold a reference into the heap while it runs.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  live_.erase(ev.id);
+  const Entry e = TakeNextEntry();
+  Slot& s = SlotRef(SlotOf(e.key));
+  Event ev;
+  ev.at = e.at;
+  ev.id = e.key;
+  ev.fn = std::move(s.fn);  // relocate out; the slot is immediately reusable
+  s.live = 0;
+  free_slots_.push_back(SlotOf(e.key));
+  --live_count_;
   return ev;
+}
+
+void EventQueue::RunNext(SimTime& now_out) {
+  const Entry e = TakeNextEntry();
+  const std::uint32_t slot = SlotOf(e.key);
+  Slot& s = SlotRef(slot);
+  // Retire the entry before running: a reentrant Cancel of this id is a
+  // no-op, and the slot stays off the freelist until the callback returns,
+  // so reentrant Schedules can never emplace over the running functor
+  // (slot blocks never relocate, see GrowSlab).
+  s.live = 0;
+  --live_count_;
+  now_out = e.at;
+  s.fn.InvokeAndReset();
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::LanePush(const Entry& e) {
+  if (lane_count_ == lane_.size()) {
+    // Grow and re-linearize (power-of-two sizes keep the index mask cheap).
+    std::vector<Entry> bigger(std::max<std::size_t>(8, lane_.size() * 2));
+    for (std::size_t i = 0; i < lane_count_; ++i) {
+      bigger[i] = lane_[(lane_head_ + i) & (lane_.size() - 1)];
+    }
+    lane_ = std::move(bigger);
+    lane_head_ = 0;
+  }
+  lane_[(lane_head_ + lane_count_) & (lane_.size() - 1)] = e;
+  ++lane_count_;
+}
+
+void EventQueue::LanePop() {
+  lane_head_ = (lane_head_ + 1) & (lane_.size() - 1);
+  --lane_count_;
 }
 
 }  // namespace tdtcp

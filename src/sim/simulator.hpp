@@ -1,31 +1,64 @@
 // The simulation driver: a clock plus the future-event list.
 //
 // All model components hold a Simulator& and schedule callbacks through it;
-// nothing in the simulator blocks or uses wall-clock time.
+// nothing in the simulator blocks or uses wall-clock time. The event core is
+// allocation-free in steady state (see event_queue.hpp); the Simulator adds
+// a recycled per-simulation Packet freelist so the packet path never copies
+// a Packet into a lambda capture or touches the heap per hop.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace tdtcp {
 
+struct Packet;
+
 class Simulator {
  public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run `delay` after the current time (delay may be zero;
-  // zero-delay events run after the current event completes, in FIFO order).
-  EventId Schedule(SimTime delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+  // zero-delay events run after the current event completes, in FIFO order,
+  // through a dedicated lane that bypasses the heap).
+  template <typename F>
+  EventId Schedule(SimTime delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   // Schedules `fn` at absolute time `at`. Scheduling in the past throws
   // std::logic_error in every build type (not just debug builds): a stale
   // event would corrupt the event order silently otherwise.
-  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAt(SimTime at, F&& fn) {
+    if (at < now_) ThrowScheduledInPast(at);
+    if (at == now_) return queue_.ScheduleImmediate(at, std::forward<F>(fn));
+    return queue_.Schedule(at, std::forward<F>(fn));
+  }
+
+  // Fire-once scheduling for "schedule and forget" call sites: never assigns
+  // the caller an EventId, so the event cannot be cancelled and no liveness
+  // handle escapes. (With sequence-tagged slots the bookkeeping itself is
+  // already O(1) and hash-free; this overload exists so the dominant call
+  // sites state their intent and never pay for or misuse a dead id.)
+  template <typename F>
+  void ScheduleNoCancel(SimTime delay, F&& fn) {
+    (void)Schedule(delay, std::forward<F>(fn));
+  }
+  template <typename F>
+  void ScheduleAtNoCancel(SimTime at, F&& fn) {
+    (void)ScheduleAt(at, std::forward<F>(fn));
+  }
 
   void Cancel(EventId id) { queue_.Cancel(id); }
 
@@ -49,12 +82,26 @@ class Simulator {
   // deterministically for a given (config, seed).
   std::uint64_t NextPacketId() { return next_packet_id_++; }
 
+  // --- packet freelist --------------------------------------------------------
+  // Parks a packet in recycled per-simulation storage and returns a stable
+  // pointer, so in-flight packets ride event captures as one pointer instead
+  // of a by-value Packet copy. Every StashPacket must be paired with exactly
+  // one ReleasePacket after the packet has been moved out (or dropped).
+  Packet* StashPacket(Packet&& p);
+  void ReleasePacket(Packet* p);
+  std::size_t stashed_packets() const;  // currently outstanding (for tests)
+
  private:
+  struct PacketPool;
+
+  [[noreturn]] void ThrowScheduledInPast(SimTime at) const;
+
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   std::uint64_t next_packet_id_ = 1;
+  std::unique_ptr<PacketPool> packet_pool_;
 };
 
 }  // namespace tdtcp

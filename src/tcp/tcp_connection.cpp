@@ -107,7 +107,7 @@ void TcpConnection::ResendSynPacket() {
   p.sent_time = sim_.now();
   if (state_ == State::kSynReceived) p.ack = 1;  // SYN/ACK
   ++stats_.segments_sent;
-  if (tap_) tap_(TapDirection::kTx, p);
+  if (has_tap_) tap_(TapDirection::kTx, p);
   host_->Send(std::move(p));
 }
 
@@ -160,7 +160,7 @@ void TcpConnection::OnSynAck(const Packet& p) {
   a.subflow = config_.subflow_id;
   a.is_mptcp = config_.mptcp;
   a.sent_time = sim_.now();
-  if (tap_) tap_(TapDirection::kTx, a);
+  if (has_tap_) tap_(TapDirection::kTx, a);
   host_->Send(std::move(a));
 }
 
@@ -310,7 +310,7 @@ void TcpConnection::NotePeerTdn(TdnId tdn) {
 // ---------------------------------------------------------------------------
 
 void TcpConnection::HandlePacket(Packet&& p) {
-  if (tap_) tap_(TapDirection::kRx, p);
+  if (has_tap_) tap_(TapDirection::kRx, p);
   if (p.type == PacketType::kTdnNotify) {
     OnTdnChange(p.notify_tdn, p.circuit_imminent);
     return;
@@ -397,7 +397,7 @@ void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
     if (rwnd_provider_) a.dss_rwnd = rwnd_provider_();
   }
   a.sent_time = sim_.now();
-  if (tap_) tap_(TapDirection::kTx, a);
+  if (has_tap_) tap_(TapDirection::kTx, a);
   host_->Send(std::move(a));
 }
 
@@ -1042,7 +1042,7 @@ void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
   p.sent_time = sim_.now();
   if (!is_retransmission) ++stats_.segments_sent;
   NotePacedTransmission(p.size_bytes);
-  if (tap_) tap_(TapDirection::kTx, p);
+  if (has_tap_) tap_(TapDirection::kTx, p);
   host_->Send(std::move(p));
 }
 

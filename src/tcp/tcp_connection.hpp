@@ -201,7 +201,12 @@ class TcpConnection : public PacketSink {
   // counterpart of the paper artifact's Wireshark TDTCP dissector).
   enum class TapDirection : std::uint8_t { kTx, kRx };
   using TapFn = std::function<void(TapDirection, const Packet&)>;
-  void SetPacketTap(TapFn fn) { tap_ = std::move(fn); }
+  void SetPacketTap(TapFn fn) {
+    tap_ = std::move(fn);
+    // Hoisted emptiness flag: the per-packet paths test one bool instead of
+    // probing the std::function's vtable pointer.
+    has_tap_ = static_cast<bool>(tap_);
+  }
   // Fired after ACK processing frees window space (MPTCP scheduler hook).
   void SetSendReadyCallback(std::function<void()> fn) {
     on_send_ready_ = std::move(fn);
@@ -374,6 +379,7 @@ class TcpConnection : public PacketSink {
   // --- callbacks -------------------------------------------------------------------
   DeliverFn deliver_;
   TapFn tap_;
+  bool has_tap_ = false;
   std::function<std::uint64_t()> dss_ack_provider_;
   std::function<std::uint64_t()> rwnd_provider_;
   std::function<void(std::uint64_t, std::uint64_t)> on_dss_ack_;

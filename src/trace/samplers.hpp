@@ -31,7 +31,7 @@ class SeriesSampler {
  private:
   void Tick() {
     samples_.push_back(Sample{sim_.now(), probe_()});
-    sim_.Schedule(interval_, [this] { Tick(); });
+    sim_.ScheduleNoCancel(interval_, [this] { Tick(); });
   }
 
   Simulator& sim_;

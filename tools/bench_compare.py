@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two tdtcp-bench/1 JSON documents (see src/app/result_io.hpp).
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--max-regress=0.15]
+
+Prints a per-benchmark table of cpu time and items/sec with the
+candidate/baseline ratio, and exits nonzero if any benchmark present in both
+documents regressed by more than --max-regress (default 15%, measured on
+items/sec when available, cpu time otherwise).
+
+Typical workflow (EXPERIMENTS.md has the full recipe):
+    ./build/bench/bench_micro --out=/tmp/now.json
+    tools/bench_compare.py BENCH_sim_core.json /tmp/now.json
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tdtcp-bench/1":
+        sys.exit(f"{path}: not a tdtcp-bench/1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return {run["name"]: run for run in doc["runs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="fail if any shared benchmark slows by more than "
+                         "this fraction (default 0.15)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    shared = [n for n in base if n in cand]
+    if not shared:
+        sys.exit("no benchmark names in common between the two documents")
+
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'base cpu':>10}  {'cand cpu':>10}  "
+          f"{'base it/s':>10}  {'cand it/s':>10}  {'speedup':>7}")
+    regressions = []
+    for name in shared:
+        b, c = base[name], cand[name]
+        b_rate, c_rate = b["items_per_second"], c["items_per_second"]
+        if b_rate > 0 and c_rate > 0:
+            speedup = c_rate / b_rate
+        else:
+            speedup = b["cpu_time_ns"] / c["cpu_time_ns"] if c["cpu_time_ns"] else 0
+
+        def ns(v):
+            return f"{v / 1e6:.2f}ms" if v >= 1e6 else f"{v:.0f}ns"
+
+        def rate(v):
+            return f"{v / 1e6:.2f}M/s" if v else "-"
+
+        print(f"{name:<{width}}  {ns(b['cpu_time_ns']):>10}  "
+              f"{ns(c['cpu_time_ns']):>10}  {rate(b_rate):>10}  "
+              f"{rate(c_rate):>10}  {speedup:>6.2f}x")
+        if speedup and speedup < 1 - args.max_regress:
+            regressions.append((name, speedup))
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\nonly in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.max_regress:.0%}:")
+        for name, speedup in regressions:
+            print(f"  {name}: {speedup:.2f}x")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regress:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
