@@ -5,6 +5,7 @@
 #include "fault/fault_injector.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "trace/replayer.hpp"
 
 namespace tdtcp {
 
@@ -68,8 +69,50 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
   }
 
+  // Tracepoint ring: one per run, shared by the controller, every host, and
+  // every plain-TCP endpoint. Wired before controller.Start() so the t=0
+  // day boundary and its notifications are already on the record.
+  std::unique_ptr<TraceRing> trace_ring;
+  std::unique_ptr<TraceRecorder> recorder;
+  if (config.trace.enabled) {
+    trace_ring = std::make_unique<TraceRing>(config.trace.ring_capacity);
+    controller.SetTraceRing(trace_ring.get());
+    for (RackId rack = 0; rack < config.topology.num_racks; ++rack) {
+      for (std::uint32_t i = 0; i < config.topology.hosts_per_rack; ++i) {
+        topo.host(rack, i)->SetTraceRing(trace_ring.get());
+      }
+    }
+    for (auto& f : workload.flows()) {
+      if (f.tcp_sender) f.tcp_sender->SetTraceRing(trace_ring.get());
+      // Both endpoints of a flow share its FlowId, but replay recreates only
+      // the sender; the recorded flow's receiver stays off the ring so the
+      // flow-filtered stream holds exactly what replay can reproduce.
+      if (f.tcp_receiver &&
+          f.tcp_receiver->flow() != config.trace.record_flow) {
+        f.tcp_receiver->SetTraceRing(trace_ring.get());
+      }
+    }
+    if (config.trace.record_flow != 0) {
+      const FlowId first = config.workload.first_flow_id;
+      const std::uint32_t idx = config.trace.record_flow - first;
+      if (config.trace.record_flow >= first && idx < workload.flows().size() &&
+          workload.flows()[idx].tcp_sender) {
+        recorder = std::make_unique<TraceRecorder>(
+            sim, *workload.flows()[idx].tcp_sender,
+            *topo.host(config.workload.src_rack, idx));
+      }
+    }
+  }
+
   controller.Start();
   workload.Start();
+  if (recorder) {
+    // Workload::Start just called Connect()/SetUnlimitedData(true) on every
+    // sender; mirror them into the recording after the t=0 notification the
+    // controller already delivered, preserving invocation order.
+    recorder->NoteConnect();
+    recorder->NoteUnlimited();
+  }
 
   SeriesSampler seq(sim, config.sample_interval,
                     [&workload] { return static_cast<double>(workload.total_bytes_acked()); });
@@ -229,6 +272,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   r.voq_shrink_deferred = topo.port(a, b)->voq().stats().shrink_deferred +
                           topo.port(b, a)->voq().stats().shrink_deferred;
+  if (trace_ring) {
+    r.trace_hash = trace_ring->Hash();
+    r.trace_records = trace_ring->total_emitted();
+    if (recorder) {
+      r.recorded =
+          std::make_shared<RecordedConnection>(recorder->Finish(*trace_ring));
+    }
+  }
   return r;
 }
 

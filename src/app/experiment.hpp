@@ -16,8 +16,21 @@
 #include "net/topology.hpp"
 #include "rdcn/controller.hpp"
 #include "trace/samplers.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tdtcp {
+
+// Tracepoint observability for a run (trace/tracepoints.hpp). Disabled by
+// default: every instrumented component then pays one predictable branch
+// per site and the perf baselines are unchanged. When enabled, the
+// controller, every host, and every plain-TCP endpoint share one ring;
+// `record_flow` additionally attaches a TraceRecorder to that flow's sender
+// so the result carries a replayable RecordedConnection.
+struct TraceOptions {
+  bool enabled = false;
+  std::size_t ring_capacity = 1u << 16;  // records; rounded up to a power of 2
+  FlowId record_flow = 0;                // 0 = trace only, no recording
+};
 
 // Experiment description. The struct doubles as a fluent builder: every
 // field stays public (existing field-poking code keeps working verbatim),
@@ -34,6 +47,8 @@ struct ExperimentConfig {
   WorkloadConfig workload;
   // Fault scenario; an empty plan (the default) arms no injector.
   FaultPlan fault;
+  // Tracepoint ring / replay recording; disabled by default.
+  TraceOptions trace;
   bool dynamic_voq = false;  // reTCPdyn switch cooperation
   SimTime duration = SimTime::Millis(200);
   SimTime warmup = SimTime::Millis(20);
@@ -96,6 +111,17 @@ struct ExperimentConfig {
     fault = plan;
     return *this;
   }
+  ExperimentConfig& WithTrace(std::size_t ring_capacity = 1u << 16) {
+    trace.enabled = true;
+    trace.ring_capacity = ring_capacity;
+    return *this;
+  }
+  // Tracing plus a replayable recording of `flow`'s sender.
+  ExperimentConfig& WithTraceRecording(FlowId flow) {
+    trace.enabled = true;
+    trace.record_flow = flow;
+    return *this;
+  }
 };
 
 // The paper's baseline configuration for a given variant (DCTCP gets a
@@ -150,6 +176,14 @@ struct ExperimentResult {
   std::uint64_t stale_notifications = 0;   // host-side dup/stale filter hits
   std::uint64_t tdn_inferred_switches = 0; // data-path inference recoveries
   std::uint64_t voq_shrink_deferred = 0;   // drain-then-shrink retained pkts
+
+  // Tracing (all zero/null when TraceOptions::enabled was false). The hash
+  // is order-sensitive over the whole ring, so two runs of the same config
+  // match iff their tracepoint streams are bit-identical — the sweep
+  // engine's jobs=1 == jobs=N determinism check compares exactly this.
+  std::uint64_t trace_hash = 0;
+  std::uint64_t trace_records = 0;  // total emitted (may exceed ring capacity)
+  std::shared_ptr<RecordedConnection> recorded;  // set when record_flow != 0
 };
 
 // Runs one deterministic experiment: the single entry point for the whole

@@ -8,37 +8,9 @@
 namespace tdtcp {
 
 // --- JSON writing -----------------------------------------------------------
+// (NumberToJson/EscapeJson/ParseJson come from sim/json.)
 
 namespace {
-
-// %.17g round-trips every finite double exactly.
-std::string NumberToJson(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 void AppendMetricStats(std::string& out, const MetricStats& s) {
   out += "{\"mean\":" + NumberToJson(s.mean);
@@ -104,197 +76,6 @@ void WriteSweepJson(const std::string& path, const SweepResult& sweep) {
 
 namespace {
 
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue Parse() {
-    JsonValue v = ParseValue();
-    SkipSpace();
-    if (pos_ != text_.size()) Fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void Fail(const char* what) {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char Peek() {
-    SkipSpace();
-    if (pos_ >= text_.size()) Fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    if (Peek() != c) Fail("unexpected character");
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    // A hostile input of "[[[[[..." would otherwise recurse once per byte
-    // and overflow the stack long before any other check fires.
-    if (depth_ >= kMaxDepth) Fail("nesting too deep");
-    ++depth_;
-    JsonValue v = ParseValueInner();
-    --depth_;
-    return v;
-  }
-
-  JsonValue ParseValueInner() {
-    switch (Peek()) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
-      case '"': {
-        JsonValue v;
-        v.type = JsonValue::Type::kString;
-        v.string = ParseString();
-        return v;
-      }
-      case 't': ParseLiteral("true"); return MakeNumber(1);
-      case 'f': ParseLiteral("false"); return MakeNumber(0);
-      case 'n': ParseLiteral("null"); return JsonValue{};
-      default: return ParseNumber();
-    }
-  }
-
-  static JsonValue MakeNumber(double d) {
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  void ParseLiteral(const char* lit) {
-    SkipSpace();
-    for (const char* p = lit; *p; ++p, ++pos_) {
-      if (pos_ >= text_.size() || text_[pos_] != *p) Fail("bad literal");
-    }
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) Fail("bad escape");
-        char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            // Manual hex parse: std::stoi would accept partial garbage
-            // ("\u12zz") or throw an unhelpful exception ("\uzzzz").
-            if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_ + static_cast<std::size_t>(i)];
-              unsigned digit;
-              if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') digit = static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') digit = static_cast<unsigned>(h - 'A' + 10);
-              else Fail("non-hex digit in \\u escape");
-              code = code * 16 + digit;
-            }
-            // The writer only emits \u for control bytes; anything wider
-            // would need UTF-8 encoding we don't produce.
-            if (code > 0xff) Fail("\\u escape outside Latin-1 range");
-            out += static_cast<char>(code);
-            pos_ += 4;
-            break;
-          }
-          default: Fail("unsupported escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (pos_ >= text_.size()) Fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  JsonValue ParseNumber() {
-    SkipSpace();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) Fail("expected number");
-    const std::string tok = text_.substr(start, pos_ - start);
-    double d;
-    std::size_t consumed = 0;
-    try {
-      d = std::stod(tok, &consumed);
-    } catch (const std::exception&) {
-      Fail("malformed number");  // "-", "1e", "..", "1e999" (overflow), ...
-    }
-    if (consumed != tok.size()) Fail("malformed number");
-    return MakeNumber(d);
-  }
-
-  JsonValue ParseArray() {
-    Expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (Peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect(']');
-      return v;
-    }
-  }
-
-  JsonValue ParseObject() {
-    Expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (Peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      std::string key = ParseString();
-      Expect(':');
-      v.object.emplace(std::move(key), ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect('}');
-      return v;
-    }
-  }
-
-  static constexpr int kMaxDepth = 200;
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-};
-
 double RequireNumber(const JsonValue& obj, const std::string& key) {
   const JsonValue* v = obj.Find(key);
   if (!v || v->type != JsonValue::Type::kNumber) {
@@ -321,14 +102,12 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "stale_notifications") r.stale_notifications = u64();
   else if (name == "tdn_inferred_switches") r.tdn_inferred_switches = u64();
   else if (name == "voq_shrink_deferred") r.voq_shrink_deferred = u64();
+  else if (name == "trace_hash") r.trace_hash = u64();  // 53-bit fingerprint
+  else if (name == "trace_records") r.trace_records = u64();
   // Unknown metrics from a newer minor schema are ignored.
 }
 
 }  // namespace
-
-JsonValue ParseJson(const std::string& text) {
-  return JsonParser(text).Parse();
-}
 
 SweepResult SweepFromJson(const std::string& json) {
   const JsonValue doc = ParseJson(json);

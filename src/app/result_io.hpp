@@ -18,32 +18,14 @@
 #include <vector>
 
 #include "app/sweep.hpp"
+// The JSON document model (JsonValue, ParseJson, writer helpers) lives in
+// sim/json.hpp so lower layers (trace/) can serialize too; this include
+// keeps every existing `result_io.hpp` user compiling unchanged.
+#include "sim/json.hpp"
 
 namespace tdtcp {
 
 inline constexpr const char* kSweepSchemaVersion = "tdtcp-sweep/1";
-
-// --- JSON document model ----------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-  double NumberOr(double def) const {
-    return type == Type::kNumber ? number : def;
-  }
-};
-
-// Parses a JSON document; throws std::runtime_error on malformed input.
-JsonValue ParseJson(const std::string& text);
 
 // --- sweep serialization ----------------------------------------------------
 

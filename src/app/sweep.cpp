@@ -95,6 +95,10 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"stale_notifications", static_cast<double>(r.stale_notifications)},
       {"tdn_inferred_switches", static_cast<double>(r.tdn_inferred_switches)},
       {"voq_shrink_deferred", static_cast<double>(r.voq_shrink_deferred)},
+      // Masked to the double mantissa so the value survives the JSON
+      // round-trip exactly; 53 bits is ample for an equality fingerprint.
+      {"trace_hash", static_cast<double>(r.trace_hash & ((1ull << 53) - 1))},
+      {"trace_records", static_cast<double>(r.trace_records)},
   };
 }
 

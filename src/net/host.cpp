@@ -21,9 +21,19 @@ void Host::HandlePacket(Packet&& p) {
       std::uint64_t& last = last_notify_seq_[p.notify_peer];
       if (p.notify_seq <= last) {
         ++stale_notifications_dropped_;
+        if (has_trace_) {
+          trace_->Emit(sim_.now().picos(), TracePoint::kHostNotifyStale,
+                       /*flow=*/0, p.notify_tdn, p.notify_seq,
+                       p.circuit_imminent, id_);
+        }
         return;
       }
       last = p.notify_seq;
+    }
+    if (has_trace_) {
+      trace_->Emit(sim_.now().picos(), TracePoint::kHostNotifyRx,
+                   /*flow=*/0, p.notify_tdn, p.notify_seq,
+                   p.circuit_imminent, id_);
     }
     DistributeTdn(p.notify_tdn, p.circuit_imminent, p.notify_peer);
     return;

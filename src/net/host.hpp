@@ -11,6 +11,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracepoints.hpp"
 
 namespace tdtcp {
 
@@ -71,6 +72,13 @@ class Host : public PacketSink {
     return stale_notifications_dropped_;
   }
 
+  // Tracepoint sink: notification receipt/dedup emit kHostNotifyRx /
+  // kHostNotifyStale (flow 0, host id in a3).
+  void SetTraceRing(TraceRing* ring) {
+    trace_ = ring;
+    has_trace_ = ring != nullptr;
+  }
+
  private:
   struct ListenerEntry {
     const void* owner;
@@ -90,6 +98,8 @@ class Host : public PacketSink {
   // Highest applied notify_seq per peer scope (kAllRacks is its own scope).
   std::unordered_map<RackId, std::uint64_t> last_notify_seq_;
   std::uint64_t stale_notifications_dropped_ = 0;
+  TraceRing* trace_ = nullptr;
+  bool has_trace_ = false;
 };
 
 }  // namespace tdtcp

@@ -24,6 +24,10 @@ void RdcnController::RunDay(std::uint32_t day_index) {
   const NetworkMode& mode = circuit ? config_.circuit_mode : config_.packet_mode;
 
   ++reconfigurations_;
+  if (has_trace_) {
+    trace_->Emit(sim_.now().picos(), TracePoint::kRdcnDayStart, /*flow=*/0,
+                 mode.tdn, day_index, circuit);
+  }
   for (FabricPort* p : ports_) {
     p->SetMode(mode);
     p->SetBlackout(false);
@@ -55,6 +59,10 @@ void RdcnController::RunDay(std::uint32_t day_index) {
 
 void RdcnController::RunNight(std::uint32_t day_index) {
   const bool was_circuit = (day_index == config_.schedule.circuit_day);
+  if (has_trace_) {
+    trace_->Emit(sim_.now().picos(), TracePoint::kRdcnNightStart, /*flow=*/0,
+                 day_index, was_circuit);
+  }
   for (FabricPort* p : ports_) p->SetBlackout(true);
   if (was_circuit) {
     // Circuit teardown: the hosts' next packets must be modeled on TDN 0.

@@ -11,6 +11,7 @@
 #include "net/tor_switch.hpp"
 #include "rdcn/schedule.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracepoints.hpp"
 
 namespace tdtcp {
 
@@ -47,6 +48,14 @@ class RdcnController {
 
   std::uint32_t reconfigurations() const { return reconfigurations_; }
 
+  // Tracepoint sink: day/night boundaries emit kRdcnDayStart (a0=tdn,
+  // a1=day index, a2=circuit day) and kRdcnNightStart (a0=day index,
+  // a1=was circuit day), flow 0.
+  void SetTraceRing(TraceRing* ring) {
+    trace_ = ring;
+    has_trace_ = ring != nullptr;
+  }
+
  private:
   SimTime Rel(SimTime t) const { return t - start_time_; }
 
@@ -67,6 +76,8 @@ class RdcnController {
   // Notification generation number: stamped into every ICMP so hosts can
   // discard duplicated/reordered/stale deliveries (Packet::notify_seq).
   std::uint64_t notify_seq_ = 0;
+  TraceRing* trace_ = nullptr;
+  bool has_trace_ = false;
 };
 
 }  // namespace tdtcp

@@ -59,14 +59,21 @@ TcpConnection::~TcpConnection() {
 // Lifecycle
 // ---------------------------------------------------------------------------
 
+void TcpConnection::SetState(State s) {
+  if (s == state_) return;
+  Trace(TracePoint::kTcpStateChange, static_cast<std::uint64_t>(state_),
+        static_cast<std::uint64_t>(s));
+  state_ = s;
+}
+
 void TcpConnection::Listen() {
   assert(state_ == State::kClosed);
-  state_ = State::kListen;
+  SetState(State::kListen);
 }
 
 void TcpConnection::Connect() {
   assert(state_ == State::kClosed);
-  state_ = State::kSynSent;
+  SetState(State::kSynSent);
   SendSyn(/*is_synack=*/false);
   ArmRto();
 }
@@ -116,7 +123,7 @@ void TcpConnection::OnSyn(const Packet& p) {
   // of TDNs so the IDs refer to the same network conditions (§4.2).
   tdtcp_active_ = config_.tdtcp_enabled && p.td_capable &&
                   p.td_num_tdns == config_.num_tdns;
-  state_ = State::kSynReceived;
+  SetState(State::kSynReceived);
   SendSyn(/*is_synack=*/true);
   ArmRto();
 }
@@ -165,7 +172,7 @@ void TcpConnection::OnSynAck(const Packet& p) {
 }
 
 void TcpConnection::CompleteHandshake() {
-  state_ = State::kEstablished;
+  SetState(State::kEstablished);
   CancelTimers();
   if (on_established_) on_established_();
   MaybeSend();
@@ -368,8 +375,16 @@ void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
   a.ack = rcv_buffer_.rcv_nxt();
   a.size_bytes = config_.ack_bytes;
   const std::uint64_t used = rcv_buffer_.ooo_bytes();
-  const std::uint64_t wnd =
+  std::uint64_t wnd =
       config_.rcv_buf_bytes > used ? config_.rcv_buf_bytes - used : 0;
+  // Plain TCP: an injected window constraint (application backpressure) caps
+  // the advertised window directly — a zero here is what arms the peer's
+  // persist timer. MPTCP subflows keep their subflow window open and carry
+  // the shared meta constraint in dss_rwnd instead (below), so hole-filling
+  // reinjections are never blocked by the very stall they are repairing.
+  if (!config_.mptcp && rwnd_provider_) {
+    wnd = std::min(wnd, rwnd_provider_());
+  }
   a.rcv_window = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(wnd, 0xffffffffu));
   a.has_rwnd = true;
@@ -408,7 +423,14 @@ void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
 void TcpConnection::OnAckPacket(const Packet& p) {
   ++stats_.acks_received;
   if (on_dss_ack_ && p.has_dss) on_dss_ack_(p.dss_ack, p.dss_rwnd);
-  if (p.has_rwnd) peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
+  if (p.has_rwnd) {
+    peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
+    if (peer_rwnd_ > 0 && persist_timer_ != kInvalidEventId) {
+      // The window reopened: leave persist mode. MaybeSend (below, on every
+      // ACK path including the stale-ACK one) resumes normal transmission.
+      CancelPersist();
+    }
+  }
 
   // TD_DATA_ACK A bit: the TDN the peer sent this ACK on.
   NotePeerTdn(p.ack_tdn);
@@ -444,10 +466,15 @@ void TcpConnection::OnAckPacket(const Packet& p) {
   const std::uint32_t total_acked_before = tdns_.TotalPacketsOut();
   std::uint32_t newly_acked_total = 0;
   if (p.ack > snd_una_) {
-    ProcessCumulativeAck(p, trigger_tdn);
+    const bool acked_fresh_data = ProcessCumulativeAck(p, trigger_tdn);
     newly_acked_total = total_acked_before - tdns_.TotalPacketsOut();
     dupack_count_ = 0;
-    rto_backoff_ = 0;
+    // Karn's algorithm: an ACK that only covers retransmitted data is
+    // ambiguous — it may acknowledge the original transmission, so it says
+    // nothing about the current path delay. Only an ACK of never-
+    // retransmitted data proves the path is live and may reset the
+    // exponential RTO backoff.
+    if (acked_fresh_data) rto_backoff_ = 0;
     tlp_in_flight_ = false;
   } else if (p.ack == snd_una_ && p.payload == 0 && newly_sacked == 0) {
     ++dupack_count_;
@@ -500,6 +527,9 @@ std::uint32_t TcpConnection::ProcessSackBlocks(const Packet& p, TdnId trigger_td
   return send_queue_.ApplySack(blocks, [this](TxSegment& seg) {
     TdnState& st = tdns_.state(seg.tdn);
     st.sacked_out++;
+    Trace(TracePoint::kTcpSackEdit,
+          static_cast<std::uint64_t>(TraceSackEdit::kSacked), seg.seq, seg.len,
+          seg.tdn);
     if (seg.tdn < sacked_pkts_scratch_.size()) sacked_pkts_scratch_[seg.tdn]++;
     if (seg.lost) {
       // The receiver has it after all; it was reordered, not lost.
@@ -514,28 +544,39 @@ std::uint32_t TcpConnection::ProcessSackBlocks(const Packet& p, TdnId trigger_td
 }
 
 void TcpConnection::ProcessDsack(const SackBlock& block) {
+  Trace(TracePoint::kTcpSackEdit,
+        static_cast<std::uint64_t>(TraceSackEdit::kUndo), block.start,
+        block.end - block.start);
   // A DSACK proves a retransmission was spurious: the receiver already had
   // the data. Credit the undo bookkeeping of the TDN whose recovery episode
-  // produced the retransmission.
+  // produced the retransmission (seg.undo_tdn — pinned at the *first*
+  // retransmission, so later re-retransmissions on other TDNs don't move
+  // the credit).
   TxSegment* seg = send_queue_.Find(block.start);
   if (seg != nullptr && seg->ever_retrans) {
     TdnState& st = tdns_.state(seg->undo_tdn);
     if (st.undo_retrans > 0) st.undo_retrans--;
     return;
   }
-  // Segment already cumulatively acked: credit the first TDN with an armed
-  // undo marker.
+  // Segment already cumulatively acked: credit the TDN whose recovery
+  // episode actually covered this sequence range. A bare "first armed undo
+  // marker" scan would credit whichever TDN happens to be recovering now —
+  // across a TDN switch that is the wrong episode, and its undo would
+  // restore the wrong TDN's window.
   for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
     TdnState& st = tdns_.state(static_cast<TdnId>(i));
-    if (st.undo_marker != 0 && st.undo_retrans > 0) {
+    if (st.undo_marker != 0 && st.undo_retrans > 0 &&
+        block.start >= st.undo_marker && block.start < st.high_seq) {
       st.undo_retrans--;
       return;
     }
   }
 }
 
-void TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
-  send_queue_.AckThrough(p.ack, [this, &p, trigger_tdn](const TxSegment& seg) {
+bool TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
+  bool acked_fresh_data = false;
+  send_queue_.AckThrough(p.ack, [this, &p, trigger_tdn,
+                                 &acked_fresh_data](const TxSegment& seg) {
     // §4.3 "specific TDN": scan the retransmission queue and update the
     // tracking variables of the TDN each segment belongs to.
     TdnState& st = tdns_.state(seg.tdn);
@@ -548,7 +589,11 @@ void TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
       acked_pkts_scratch_[seg.tdn]++;
       acked_bytes_scratch_[seg.tdn] += seg.len;
       ece_target_tdn_ = seg.tdn;
+      if (!seg.ever_retrans) acked_fresh_data = true;
     }
+    Trace(TracePoint::kTcpSackEdit,
+          static_cast<std::uint64_t>(TraceSackEdit::kAcked), seg.seq, seg.len,
+          seg.tdn);
     if (seg.last_sent > rack_mstamp_) {
       rack_mstamp_ = seg.last_sent;
       rack_mstamp_tdn_ = seg.tdn;
@@ -572,6 +617,7 @@ void TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
     (void)trigger_tdn;
   });
   snd_una_ = p.ack;
+  return acked_fresh_data;
 }
 
 void TcpConnection::DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked) {
@@ -673,6 +719,9 @@ void TcpConnection::MarkSegmentLost(TxSegment& seg) {
   seg.lost = true;
   TdnState& st = tdns_.state(seg.tdn);
   st.lost_out++;
+  Trace(TracePoint::kTcpSackEdit,
+        static_cast<std::uint64_t>(TraceSackEdit::kLost), seg.seq, seg.len,
+        seg.tdn);
   if (seg.retrans) {
     // The retransmission itself is presumed lost too.
     seg.retrans = false;
@@ -686,6 +735,9 @@ void TcpConnection::AdvanceStateMachines(const Packet& p) {
     TdnState& st = tdns_.state(id);
     const std::uint32_t acked_here =
         i < acked_pkts_scratch_.size() ? acked_pkts_scratch_[i] : 0;
+    const CaState prev_ca = st.ca_state;
+    const std::uint32_t prev_cwnd = st.cwnd;
+    const std::uint32_t prev_ssthresh = st.ssthresh;
 
     // CC per-ACK hook (DCTCP fraction tracking etc.) for TDNs with progress.
     if (acked_here > 0) {
@@ -760,6 +812,17 @@ void TcpConnection::AdvanceStateMachines(const Packet& p) {
          st.ca_state == CaState::kLoss)) {
       st.cc->CongAvoid(st, acked_here, sim_.now());
     }
+
+    if (has_trace_) {
+      if (st.ca_state != prev_ca) {
+        Trace(TracePoint::kTcpCaStateChange, id,
+              static_cast<std::uint64_t>(prev_ca),
+              static_cast<std::uint64_t>(st.ca_state));
+      }
+      if (st.cwnd != prev_cwnd || st.ssthresh != prev_ssthresh) {
+        Trace(TracePoint::kTcpCwndUpdate, id, st.cwnd, st.ssthresh);
+      }
+    }
   }
 }
 
@@ -810,6 +873,7 @@ void TcpConnection::MaybeUndo(TdnState& st) {
   st.undo_marker = 0;
   st.undo_events++;
   stats_.undo_events++;
+  Trace(TracePoint::kTcpUndo, st.id, st.cwnd, st.ssthresh);
   st.cc->OnCwndEvent(st, CwndEvent::kLossUndone);
 }
 
@@ -927,6 +991,14 @@ void TcpConnection::MaybeSend() {
   TdnState& st = ActiveState();
   const bool have_data = unlimited_data_ || pending_bytes_ > 0;
   st.cwnd_limited = have_data && IsCwndLimited();
+
+  // Zero-window deadlock breaker: data is waiting, nothing is in flight (so
+  // no ACK will ever come back), and the peer's window — not cwnd — blocks
+  // the next segment. Without a probe the connection would stall forever,
+  // because the ACK reopening the window has no packet to ride on.
+  if (have_data && outstanding_bytes() == 0 && !CanSendNewSegment()) {
+    ArmPersist();
+  }
 }
 
 bool TcpConnection::CanSendNewSegment() const {
@@ -942,8 +1014,9 @@ bool TcpConnection::CanSendNewSegment() const {
   return outstanding_bytes() + next_len <= wnd;
 }
 
-void TcpConnection::SendNewSegment() {
+void TcpConnection::SendNewSegment(std::uint32_t len_cap) {
   std::uint32_t len = config_.mss;
+  if (len_cap != 0) len = std::min(len, len_cap);
   bool has_dss = false;
   std::uint64_t dss = 0;
   if (!unlimited_data_ || !pending_.empty()) {
@@ -996,10 +1069,15 @@ bool TcpConnection::RetransmitOneLost() {
     // still presumed gone; only the retransmission is in the pipe.
     origin.packets_out--;
     origin.lost_out--;
-    origin.undo_retrans++;
-    origin.any_rtx_since_entry = true;
-    origin.rtx_this_episode++;
-    seg.undo_tdn = seg.tdn;
+    // Undo bookkeeping belongs to the recovery *episode*, pinned at the
+    // first retransmission. Re-retransmissions after a TDN switch must not
+    // re-point undo_tdn at the new TDN, or the eventual DSACK would credit —
+    // and MaybeUndo would restore — the wrong TDN's window.
+    if (!seg.ever_retrans) seg.undo_tdn = seg.tdn;
+    TdnState& episode = tdns_.state(seg.undo_tdn);
+    episode.undo_retrans++;
+    episode.any_rtx_since_entry = true;
+    episode.rtx_this_episode++;
     seg.tdn = ActiveTdn();
     active.packets_out++;
     active.lost_out++;
@@ -1041,6 +1119,11 @@ void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
   }
   p.sent_time = sim_.now();
   if (!is_retransmission) ++stats_.segments_sent;
+  if (is_retransmission) {
+    Trace(TracePoint::kTcpSackEdit,
+          static_cast<std::uint64_t>(TraceSackEdit::kRetrans), seg.seq,
+          seg.len, seg.tdn);
+  }
   NotePacedTransmission(p.size_bytes);
   if (has_tap_) tap_(TapDirection::kTx, p);
   host_->Send(std::move(p));
@@ -1070,6 +1153,9 @@ void TcpConnection::ArmRto() {
     rto_timer_ = kInvalidEventId;
     OnRtoFire();
   });
+  Trace(TracePoint::kTcpTimerArm,
+        static_cast<std::uint64_t>(TraceTimer::kRto),
+        static_cast<std::uint64_t>(deadline.picos()));
 }
 
 void TcpConnection::OnRtoFire() {
@@ -1083,6 +1169,19 @@ void TcpConnection::OnRtoFire() {
     return;
   }
   ++stats_.timeouts;
+  Trace(TracePoint::kTcpTimerFire,
+        static_cast<std::uint64_t>(TraceTimer::kRto));
+
+  // The timeout supersedes any pending tail-loss probe: recovery now belongs
+  // to the RTO machinery. A TLP left armed here would fire mid-Loss and
+  // inject a stray retransmission into the carefully reduced pipe.
+  if (tlp_timer_ != kInvalidEventId) {
+    sim_.Cancel(tlp_timer_);
+    tlp_timer_ = kInvalidEventId;
+    Trace(TracePoint::kTcpTimerCancel,
+          static_cast<std::uint64_t>(TraceTimer::kTlp));
+  }
+  tlp_in_flight_ = false;
 
   // Handshake retransmission: resend the SYN / SYN-ACK itself.
   if (head.syn && state_ != State::kEstablished) {
@@ -1096,6 +1195,9 @@ void TcpConnection::OnRtoFire() {
   }
 
   TdnState& st = tdns_.state(head.tdn);
+  const CaState prev_ca = st.ca_state;
+  const std::uint32_t prev_cwnd = st.cwnd;
+  const std::uint32_t prev_ssthresh = st.ssthresh;
   if (st.ca_state != CaState::kLoss) {
     EnterLoss(st);
   } else {
@@ -1113,7 +1215,22 @@ void TcpConnection::OnRtoFire() {
     }
   }
   rto_backoff_ = std::min(rto_backoff_ + 1, 8u);
+  if (has_trace_) {
+    if (st.ca_state != prev_ca) {
+      Trace(TracePoint::kTcpCaStateChange, st.id,
+            static_cast<std::uint64_t>(prev_ca),
+            static_cast<std::uint64_t>(st.ca_state));
+    }
+    if (st.cwnd != prev_cwnd || st.ssthresh != prev_ssthresh) {
+      Trace(TracePoint::kTcpCwndUpdate, st.id, st.cwnd, st.ssthresh);
+    }
+  }
   RunChecker(TcpInvariantChecker::Event::kRto);
+  // Like Linux tcp_retransmit_timer: the timeout itself retransmits the head
+  // segment unconditionally, outside the cwnd-limited transmit loop. Under
+  // TDTCP the active TDN may be pipe-full with its own (healthy) flight while
+  // the timed-out TDN's losses starve; recovery must not wait on it.
+  RetransmitOneLost();
   MaybeSend();
   ArmRto();
 }
@@ -1133,10 +1250,16 @@ void TcpConnection::ArmTlp() {
     tlp_timer_ = kInvalidEventId;
     OnTlpFire();
   });
+  Trace(TracePoint::kTcpTimerArm,
+        static_cast<std::uint64_t>(TraceTimer::kTlp),
+        static_cast<std::uint64_t>((sim_.now() + pto).picos()));
 }
 
 void TcpConnection::OnTlpFire() {
   if (send_queue_.Empty() || tlp_in_flight_) return;
+  if (state_ != State::kEstablished) return;
+  Trace(TracePoint::kTcpTimerFire,
+        static_cast<std::uint64_t>(TraceTimer::kTlp));
   ++stats_.tlp_probes;
   tlp_in_flight_ = true;
   if (CanSendNewSegment()) {
@@ -1152,7 +1275,10 @@ void TcpConnection::OnTlpFire() {
     TdnState& active = ActiveState();
     origin.packets_out--;
     if (seg.retrans) { origin.retrans_out--; seg.retrans = false; }
-    seg.undo_tdn = seg.tdn;
+    // Same episode-pinning rule as RetransmitOneLost: only the first
+    // retransmission establishes which TDN's undo bookkeeping owns this
+    // segment.
+    if (!seg.ever_retrans) seg.undo_tdn = seg.tdn;
     seg.tdn = ActiveTdn();
     active.packets_out++;
     active.retrans_out++;
@@ -1165,6 +1291,52 @@ void TcpConnection::OnTlpFire() {
     ArmRto();
     return;
   }
+}
+
+void TcpConnection::ArmPersist() {
+  if (state_ != State::kEstablished) return;
+  if (persist_timer_ != kInvalidEventId) return;
+  // Exponential backoff from the active TDN's RTO, capped like the RTO
+  // itself (RFC 9293 recommends the same clamped doubling).
+  SimTime interval =
+      tdns_.RtoFor(ActiveTdn(), tdtcp_active_ && config_.synthesized_rto) *
+      (std::int64_t{1} << persist_backoff_);
+  interval = std::min(interval, config_.rtt.max_rto);
+  persist_timer_ = sim_.Schedule(interval, [this] {
+    persist_timer_ = kInvalidEventId;
+    OnPersistFire();
+  });
+  Trace(TracePoint::kTcpTimerArm,
+        static_cast<std::uint64_t>(TraceTimer::kPersist),
+        static_cast<std::uint64_t>((sim_.now() + interval).picos()));
+}
+
+void TcpConnection::CancelPersist() {
+  persist_backoff_ = 0;
+  if (persist_timer_ == kInvalidEventId) return;
+  sim_.Cancel(persist_timer_);
+  persist_timer_ = kInvalidEventId;
+  Trace(TracePoint::kTcpTimerCancel,
+        static_cast<std::uint64_t>(TraceTimer::kPersist));
+}
+
+void TcpConnection::OnPersistFire() {
+  if (state_ != State::kEstablished) return;
+  const bool have_data = unlimited_data_ || pending_bytes_ > 0;
+  // Window reopened or data drained since arming: persist mode is over.
+  if (!have_data || outstanding_bytes() > 0 || CanSendNewSegment()) {
+    MaybeSend();
+    return;
+  }
+  Trace(TracePoint::kTcpTimerFire,
+        static_cast<std::uint64_t>(TraceTimer::kPersist));
+  // 1-byte window probe: real new data, so the peer's ACK both answers the
+  // probe and carries the current window. It is retransmittable through the
+  // normal machinery if lost.
+  ++stats_.persist_probes;
+  SendNewSegment(/*len_cap=*/1);
+  persist_backoff_ = std::min(persist_backoff_ + 1, 8u);
+  ArmPersist();
 }
 
 void TcpConnection::CancelTimers() {
@@ -1180,6 +1352,11 @@ void TcpConnection::CancelTimers() {
     sim_.Cancel(pace_timer_);
     pace_timer_ = kInvalidEventId;
   }
+  if (persist_timer_ != kInvalidEventId) {
+    sim_.Cancel(persist_timer_);
+    persist_timer_ = kInvalidEventId;
+  }
+  persist_backoff_ = 0;
 }
 
 // ---------------------------------------------------------------------------

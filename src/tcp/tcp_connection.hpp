@@ -34,6 +34,7 @@
 #include "tdtcp/congestion_control.hpp"
 #include "tdtcp/reordering.hpp"
 #include "tdtcp/tdn_manager.hpp"
+#include "trace/tracepoints.hpp"
 
 namespace tdtcp {
 
@@ -129,6 +130,7 @@ struct TcpStats {
   std::uint64_t acks_received = 0;
   std::uint64_t bytes_received = 0;        // receiver-side delivered to app
   std::uint64_t duplicate_segments = 0;    // receiver-side dup arrivals
+  std::uint64_t persist_probes = 0;        // zero-window probes sent
 };
 
 class TcpConnection : public PacketSink {
@@ -215,6 +217,13 @@ class TcpConnection : public PacketSink {
   // FaultInjector, when an experiment runs with a FaultPlan).
   void SetFaultTraceSource(const FaultTraceSource* src) { fault_trace_ = src; }
   const FaultTraceSource* fault_trace() const { return fault_trace_; }
+  // Tracepoint sink (trace/tracepoints.hpp). Same hoisted-bool discipline as
+  // the packet tap: the disabled fast path costs one predictable branch.
+  void SetTraceRing(TraceRing* ring) {
+    trace_ = ring;
+    has_trace_ = ring != nullptr;
+    tdns_.SetTrace(ring, &sim_, flow_);
+  }
 
   // --- introspection -----------------------------------------------------------
   State state() const { return state_; }
@@ -231,6 +240,8 @@ class TcpConnection : public PacketSink {
   const TcpConfig& config() const { return config_; }
   const SendQueue& send_queue() const { return send_queue_; }
   FlowId flow() const { return flow_; }
+  std::uint32_t rto_backoff() const { return rto_backoff_; }
+  bool persist_timer_armed() const { return persist_timer_ != kInvalidEventId; }
 
   // Unacked data-level (DSS) ranges, lowest first — MPTCP reinjection scans
   // these to remap stranded data onto the active subflow.
@@ -260,7 +271,9 @@ class TcpConnection : public PacketSink {
   bool PacingDefers();
   void NotePacedTransmission(std::uint32_t bytes);
   bool CanSendNewSegment() const;
-  void SendNewSegment();
+  // `len_cap` caps the segment payload (0 = no cap); the persist path sends
+  // 1-byte window probes through the regular segment machinery.
+  void SendNewSegment(std::uint32_t len_cap = 0);
   bool RetransmitOneLost();
   void TransmitSegment(TxSegment& seg, bool is_retransmission);
   Packet BuildDataPacket(const TxSegment& seg) const;
@@ -273,7 +286,10 @@ class TcpConnection : public PacketSink {
   void OnAckPacket(const Packet& p);
   std::uint32_t ProcessSackBlocks(const Packet& p, TdnId trigger_tdn);
   void ProcessDsack(const SackBlock& block);
-  void ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn);
+  // Returns true when the ACK retired at least one data segment that was
+  // never retransmitted — the only ACKs Karn's algorithm lets reset the RTO
+  // backoff.
+  bool ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn);
   void DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked);
   void MarkSegmentLost(TxSegment& seg);
   void AdvanceStateMachines(const Packet& p);
@@ -291,6 +307,12 @@ class TcpConnection : public PacketSink {
   void OnRtoFire();
   void ArmTlp();
   void OnTlpFire();
+  // Zero-window persist timer (RFC 9293 §3.8.6.1): while the peer advertises
+  // a zero window and nothing is in flight, probe with 1-byte segments under
+  // exponential backoff instead of stalling forever.
+  void ArmPersist();
+  void CancelPersist();
+  void OnPersistFire();
   void CancelTimers();
   SimTime RtoForSegment(const TxSegment& seg) const;
 
@@ -308,6 +330,14 @@ class TcpConnection : public PacketSink {
   void NoteCircuitEcho(bool circuit);
   void RunChecker(TcpInvariantChecker::Event ev) {
     if (checker_) checker_->Check(*this, ev);
+  }
+  // Connection-state transition with its tracepoint.
+  void SetState(State s);
+  void Trace(TracePoint point, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+             std::uint64_t a2 = 0, std::uint64_t a3 = 0) {
+    if (has_trace_) {
+      trace_->Emit(sim_.now().picos(), point, flow_, a0, a1, a2, a3);
+    }
   }
 
   Simulator& sim_;
@@ -356,6 +386,8 @@ class TcpConnection : public PacketSink {
   EventId tlp_timer_ = kInvalidEventId;
   std::uint32_t rto_backoff_ = 0;
   bool tlp_in_flight_ = false;
+  EventId persist_timer_ = kInvalidEventId;
+  std::uint32_t persist_backoff_ = 0;
 
   // --- pacing ---------------------------------------------------------------------
   EventId pace_timer_ = kInvalidEventId;
@@ -380,6 +412,8 @@ class TcpConnection : public PacketSink {
   DeliverFn deliver_;
   TapFn tap_;
   bool has_tap_ = false;
+  TraceRing* trace_ = nullptr;
+  bool has_trace_ = false;
   std::function<std::uint64_t()> dss_ack_provider_;
   std::function<std::uint64_t()> rwnd_provider_;
   std::function<void(std::uint64_t, std::uint64_t)> on_dss_ack_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/simulator.hpp"
+
 namespace tdtcp {
 
 TdnManager::TdnManager(std::uint32_t num_tdns, IndexedCcFactory factory,
@@ -21,15 +23,24 @@ void TdnManager::EnsureTdn(TdnId id) {
     s.cc = factory_(s.id);
     s.cc->Init(s);
     states_.push_back(std::move(s));
+    if (has_trace_) {
+      trace_->Emit(trace_sim_->now().picos(), TracePoint::kTdnStateSelect,
+                   trace_flow_, states_.back().id);
+    }
   }
 }
 
 bool TdnManager::SwitchTo(TdnId id) {
   EnsureTdn(id);
   if (id == active_) return false;
+  const TdnId prev = active_;
   active_ = id;
   TdnState& s = states_[active_];
   s.cc->OnCwndEvent(s, CwndEvent::kTdnResume);
+  if (has_trace_) {
+    trace_->Emit(trace_sim_->now().picos(), TracePoint::kTdnSwitch,
+                 trace_flow_, prev, id);
+  }
   return true;
 }
 

@@ -16,6 +16,11 @@
 #include "tcp/rtt_estimator.hpp"
 #include "tdtcp/congestion_control.hpp"
 #include "tdtcp/tdn_state.hpp"
+#include "trace/tracepoints.hpp"
+
+namespace tdtcp {
+class Simulator;
+}
 
 namespace tdtcp {
 
@@ -69,12 +74,25 @@ class TdnManager {
   // when `synthesized` (TDTCP), the TDN's own RTO otherwise.
   SimTime RtoFor(TdnId id, bool synthesized) const;
 
+  // Tracepoint sink: SwitchTo emits kTdnSwitch, EnsureTdn emits
+  // kTdnStateSelect when it lazily allocates a new state set.
+  void SetTrace(TraceRing* ring, const Simulator* sim, FlowId flow) {
+    trace_ = ring;
+    trace_sim_ = sim;
+    trace_flow_ = flow;
+    has_trace_ = ring != nullptr && sim != nullptr;
+  }
+
  private:
   std::vector<TdnState> states_;
   IndexedCcFactory factory_;
   RttEstimator::Config rtt_config_;
   std::uint32_t initial_cwnd_;
   TdnId active_ = 0;
+  TraceRing* trace_ = nullptr;
+  const Simulator* trace_sim_ = nullptr;
+  FlowId trace_flow_ = 0;
+  bool has_trace_ = false;
 };
 
 }  // namespace tdtcp

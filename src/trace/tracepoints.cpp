@@ -1,0 +1,46 @@
+#include "trace/tracepoints.hpp"
+
+namespace tdtcp {
+
+const char* TracePointName(TracePoint p) {
+  switch (p) {
+    case TracePoint::kTcpStateChange: return "tcp_state_change";
+    case TracePoint::kTcpCaStateChange: return "tcp_ca_state_change";
+    case TracePoint::kTcpCwndUpdate: return "tcp_cwnd_update";
+    case TracePoint::kTcpTimerArm: return "tcp_timer_arm";
+    case TracePoint::kTcpTimerCancel: return "tcp_timer_cancel";
+    case TracePoint::kTcpTimerFire: return "tcp_timer_fire";
+    case TracePoint::kTcpSackEdit: return "tcp_sack_edit";
+    case TracePoint::kTcpUndo: return "tcp_undo";
+    case TracePoint::kTdnSwitch: return "tdn_switch";
+    case TracePoint::kTdnStateSelect: return "tdn_state_select";
+    case TracePoint::kHostNotifyRx: return "host_notify_rx";
+    case TracePoint::kHostNotifyStale: return "host_notify_stale";
+    case TracePoint::kRdcnDayStart: return "rdcn_day_start";
+    case TracePoint::kRdcnNightStart: return "rdcn_night_start";
+  }
+  return "unknown";
+}
+
+const char* TraceTimerName(TraceTimer t) {
+  switch (t) {
+    case TraceTimer::kRto: return "rto";
+    case TraceTimer::kTlp: return "tlp";
+    case TraceTimer::kPace: return "pace";
+    case TraceTimer::kPersist: return "persist";
+  }
+  return "unknown";
+}
+
+const char* TraceSackEditName(TraceSackEdit e) {
+  switch (e) {
+    case TraceSackEdit::kSacked: return "sacked";
+    case TraceSackEdit::kLost: return "lost";
+    case TraceSackEdit::kRetrans: return "retrans";
+    case TraceSackEdit::kAcked: return "acked";
+    case TraceSackEdit::kUndo: return "undo";
+  }
+  return "unknown";
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,69 @@
+// Counting global allocator for zero-allocation assertions.
+//
+// Including this header replaces the global operator new/delete with
+// counting versions and provides CountAllocations() to measure a scoped
+// block. Replacement allocation functions must be defined exactly once per
+// binary, so include this from exactly one translation unit of a test
+// executable (each add_tdtcp_test target is a single .cpp, which makes
+// that automatic).
+//
+// The counters are plain integers: these test binaries are single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace tdtcp::test {
+
+inline std::uint64_t g_news = 0;
+inline std::uint64_t g_deletes = 0;
+
+struct AllocDelta {
+  std::uint64_t news;
+  std::uint64_t deletes;
+};
+
+template <typename F>
+AllocDelta CountAllocations(F&& f) {
+  const std::uint64_t n0 = g_news;
+  const std::uint64_t d0 = g_deletes;
+  f();
+  return AllocDelta{g_news - n0, g_deletes - d0};
+}
+
+}  // namespace tdtcp::test
+
+// All forms funnel through malloc/free so the aligned overloads used by the
+// event core's heap buffer are counted too.
+void* operator new(std::size_t n) {
+  ++tdtcp::test::g_news;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++tdtcp::test::g_news;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept {
+  ++tdtcp::test::g_deletes;
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  ++tdtcp::test::g_deletes;
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  ++tdtcp::test::g_deletes;
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ++tdtcp::test::g_deletes;
+  std::free(p);
+}

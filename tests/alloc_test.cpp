@@ -1,75 +1,23 @@
 // The tentpole claim of the allocation-free event core, asserted directly:
 // after warmup, neither a self-rescheduling timer nor a link/queue packet
-// ping-pong touches the global heap. Counting overloads of operator
-// new/delete make any steady-state allocation a test failure, not a perf
-// regression to chase later.
+// ping-pong touches the global heap. The counting allocator lives in
+// alloc_harness.hpp (shared with tracepoint_test's disabled-path check);
+// any steady-state allocation is a test failure, not a perf regression to
+// chase later.
 #include <gtest/gtest.h>
 
-#include <cstddef>
 #include <cstdint>
-#include <cstdlib>
-#include <new>
 
+#include "alloc_harness.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
-namespace {
-
-std::uint64_t g_news = 0;
-std::uint64_t g_deletes = 0;
-
-}  // namespace
-
-// Counting global allocator. The counters are plain integers (this test
-// binary is single-threaded); all forms funnel through malloc/free so the
-// aligned overloads used by the event core's heap buffer are counted too.
-void* operator new(std::size_t n) {
-  ++g_news;
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new(std::size_t n, std::align_val_t al) {
-  ++g_news;
-  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
-                                   (n + static_cast<std::size_t>(al) - 1) &
-                                       ~(static_cast<std::size_t>(al) - 1))) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept {
-  ++g_deletes;
-  std::free(p);
-}
-void operator delete(void* p, std::size_t) noexcept {
-  ++g_deletes;
-  std::free(p);
-}
-void operator delete(void* p, std::align_val_t) noexcept {
-  ++g_deletes;
-  std::free(p);
-}
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  ++g_deletes;
-  std::free(p);
-}
-
 namespace tdtcp {
 namespace {
 
-struct AllocDelta {
-  std::uint64_t news;
-  std::uint64_t deletes;
-};
-
-template <typename F>
-AllocDelta CountAllocations(F&& f) {
-  const std::uint64_t n0 = g_news;
-  const std::uint64_t d0 = g_deletes;
-  f();
-  return AllocDelta{g_news - n0, g_deletes - d0};
-}
+using test::AllocDelta;
+using test::CountAllocations;
 
 // Raw functor timer: no std::function anywhere on the path.
 struct Tick {

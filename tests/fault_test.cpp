@@ -475,5 +475,22 @@ TEST(GracefulDegradation, DelayedAndDuplicatedNotificationsAreAbsorbed) {
   EXPECT_GT(r.goodput_bps, 0.0);
 }
 
+TEST(GracefulDegradation, DelayedNotificationsTraceDeterministically) {
+  // Regression: jittered notification delivery must stay on the simulated
+  // clock only — any wall-clock or iteration-order dependence shows up as a
+  // tracepoint stream (and hence hash) difference between identical runs.
+  FaultPlan plan;
+  plan.control.notify_delay_mean = SimTime::Micros(20);
+  plan.control.notify_delay_jitter = SimTime::Micros(10);
+  plan.control.notify_duplicate_rate = 0.2;
+  const ExperimentConfig cfg =
+      ShortConfig(Variant::kTdtcp, 5).WithFault(plan).WithTrace();
+  const ExperimentResult a = RunExperiment(cfg);
+  const ExperimentResult b = RunExperiment(cfg);
+  EXPECT_GT(a.trace_records, 0u);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.trace_records, b.trace_records);
+}
+
 }  // namespace
 }  // namespace tdtcp

@@ -1,12 +1,18 @@
-// RTT estimation and the TDTCP synthesized timeout (§4.4).
+// RTT estimation, the TDTCP synthesized timeout (§4.4), and Karn's rules
+// for the exponential RTO backoff.
 #include <gtest/gtest.h>
 
-#include "tcp/rtt_estimator.hpp"
-#include "tdtcp/tdn_manager.hpp"
+#include "cc/registry.hpp"
 #include "cc/reno.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "tdtcp/tdn_manager.hpp"
+#include "test_util.hpp"
 
 namespace tdtcp {
 namespace {
+
+using test::LoopbackHarness;
 
 TEST(RttEstimator, FirstSampleInitializes) {
   RttEstimator e;
@@ -123,6 +129,49 @@ TEST(TdnManager, RtoForSynthesizedVsPlain) {
   // Plain RTO for the fast TDN is small; synthesized is pessimistic.
   EXPECT_LT(mgr.RtoFor(1, false), SimTime::Micros(80));
   EXPECT_GE(mgr.RtoFor(1, true), SimTime::Micros(120));
+}
+
+// ---------------------------------------------------------------------------
+// Karn's algorithm and the RTO backoff
+// ---------------------------------------------------------------------------
+
+TEST(Karn, BackoffOnlyResetByAckOfFreshData) {
+  // An ACK that covers only retransmitted data is ambiguous — it may
+  // acknowledge the original transmission, so it proves nothing about the
+  // current path delay and must not reset the exponential backoff. Only an
+  // ACK of never-retransmitted data may.
+  TcpConfig c;
+  c.mss = 1000;
+  c.cc_factory = MakeCcFactory("reno");
+  Simulator sim;
+  LoopbackHarness harness(sim);
+  TcpConnection conn(sim, &harness.host, 1, 99, c);
+  conn.Connect();
+  harness.Settle();
+  Packet syn = harness.out.Pop();
+  conn.HandlePacket(LoopbackHarness::SynAckFor(syn, false, 1));
+  harness.Settle();
+  conn.SetUnlimitedData(true);
+  harness.Settle();
+  harness.out.packets.clear();
+
+  // Silence long enough for repeated timeouts: the head is retransmitted on
+  // each, and the backoff climbs.
+  sim.RunUntil(sim.now() + SimTime::Millis(4));
+  const std::uint32_t backoff = conn.rto_backoff();
+  ASSERT_GE(conn.stats().timeouts, 2u);
+  ASSERT_GE(backoff, 2u);
+
+  // Cumulative ACK of exactly the (retransmitted) head: Karn says hold.
+  conn.HandlePacket(LoopbackHarness::Ack(1, 1001));
+  harness.Settle();
+  EXPECT_EQ(conn.rto_backoff(), backoff)
+      << "backoff reset by an ACK of retransmitted-only data";
+
+  // Cumulative ACK through data that was never retransmitted: the path is
+  // demonstrably live, so the backoff resets.
+  conn.HandlePacket(LoopbackHarness::Ack(1, conn.snd_nxt()));
+  EXPECT_EQ(conn.rto_backoff(), 0u);
 }
 
 }  // namespace

@@ -439,6 +439,89 @@ TEST(Tlp, ProbesTailLoss) {
   EXPECT_EQ(f.conn.stats().timeouts, 0u);
 }
 
+TEST(Tlp, RtoCancelsPendingProbe) {
+  // Regression: with a converged low-variance RTT, the RTO (srtt + 4*rttvar)
+  // fires before the TLP's 2*srtt deadline. The timeout must cancel the
+  // armed probe — a TLP left pending would fire mid-Loss and inject a stray
+  // retransmission into the reduced pipe.
+  ClientFixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  // Converge srtt to ~600us with negligible variance: each ACK arrives
+  // 600us after the segments it covers were sent.
+  for (int i = 0; i < 20; ++i) {
+    f.sim.RunUntil(f.sim.now() + SimTime::Micros(600));
+    f.conn.HandlePacket(LoopbackHarness::Ack(1, f.conn.snd_nxt()));
+  }
+  // Final partial ACK leaves a tail outstanding, so this ACK arms a TLP
+  // (2*srtt ~ 1.2ms). The unacked tail is already ~600us old, putting its
+  // RTO deadline well before the probe's.
+  f.sim.RunUntil(f.sim.now() + SimTime::Micros(600));
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, f.conn.snd_nxt() - 5000));
+  f.TakeData();
+  ASSERT_EQ(f.conn.stats().timeouts, 0u);
+  ASSERT_EQ(f.conn.stats().tlp_probes, 0u);
+  // Silence. The RTO fires first and must supersede the armed TLP.
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(5));
+  EXPECT_GE(f.conn.stats().timeouts, 1u);
+  EXPECT_EQ(f.conn.stats().tlp_probes, 0u)
+      << "a stale TLP fired after the RTO took over";
+}
+
+// ---------------------------------------------------------------------------
+// Zero-window persist
+// ---------------------------------------------------------------------------
+
+TEST(Persist, ZeroWindowProbesWithBackoffUntilReopen) {
+  ClientFixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.TakeData();
+  // Everything delivered, but the receiver's buffer is full: without a
+  // persist timer both sides would now wait on each other forever (the
+  // reopening window update is a pure ACK and is not retransmitted).
+  Packet ack = LoopbackHarness::Ack(1, f.conn.snd_nxt());
+  ack.rcv_window = 0;
+  f.conn.HandlePacket(std::move(ack));
+  f.harness.Settle();
+  EXPECT_TRUE(f.TakeData().empty());
+  ASSERT_TRUE(f.conn.persist_timer_armed());
+
+  // First 1-byte window probe after about one RTO.
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(2));
+  EXPECT_GE(f.conn.stats().persist_probes, 1u);
+  auto probes = f.TakeData();
+  ASSERT_FALSE(probes.empty());
+  EXPECT_EQ(probes.front().payload, 1u);
+  const auto probe_seq = probes.front().seq;
+
+  // The probe is real new data, so once it is outstanding the RTO machinery
+  // owns the clock: the probe byte is re-offered with the RTO's exponential
+  // backoff (RFC 9293's "increase exponentially the interval between
+  // successive probes"), not once per RTO.
+  const auto timeouts_before = f.conn.stats().timeouts;
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(60));
+  const auto rexmits = f.conn.stats().timeouts - timeouts_before;
+  EXPECT_GE(rexmits, 2u);
+  EXPECT_LT(rexmits, 10u);
+  auto reprobes = f.TakeData();
+  ASSERT_FALSE(reprobes.empty());
+  for (const Packet& p : reprobes) {
+    EXPECT_EQ(p.payload, 1u);
+    EXPECT_EQ(p.seq, probe_seq);  // always the same single byte
+  }
+
+  // The window reopens: persist mode ends and the transfer resumes.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, f.conn.snd_nxt()));
+  f.harness.Settle();
+  EXPECT_FALSE(f.conn.persist_timer_armed());
+  EXPECT_FALSE(f.TakeData().empty());
+  // And stays quiet: no further probes once the window is open.
+  const auto settled = f.conn.stats().persist_probes;
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(20));
+  EXPECT_EQ(f.conn.stats().persist_probes, settled);
+}
+
 // ---------------------------------------------------------------------------
 // ECN
 // ---------------------------------------------------------------------------

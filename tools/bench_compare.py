@@ -19,8 +19,17 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        f = open(path)
+    except OSError as e:
+        sys.exit(f"{path}: cannot open baseline/candidate document "
+                 f"({e.strerror}). Generate one with e.g.\n"
+                 f"    ./build/bench/bench_micro --out={path}")
+    with f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: not valid JSON ({e})")
     if doc.get("schema") != "tdtcp-bench/1":
         sys.exit(f"{path}: not a tdtcp-bench/1 document "
                  f"(schema={doc.get('schema')!r})")

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Dump a tdtcp-trace/1 document (see src/trace/trace_io.hpp) as TSV.
+
+Usage:
+    tools/trace2tsv.py TRACE.json                # every record, names resolved
+    tools/trace2tsv.py TRACE.json --flow 1       # one flow only
+    tools/trace2tsv.py TRACE.json --cwnd         # cwnd/ssthresh evolution
+    tools/trace2tsv.py TRACE.json --timeseq      # sender time-sequence plot
+
+Both document shapes work: plain ring dumps and the replay fixtures under
+tests/traces/ (the `recorded` section is ignored here). Point names come
+from the document's own `points` table, so this script never needs to track
+the TracePoint enum.
+
+The --cwnd and --timeseq extractions mirror ExtractCwndEvolution /
+ExtractTimeSequence in src/trace/trace_io.cpp; plots built from either side
+of the fence agree by construction. Output columns:
+
+    (default)   time_ps  point  flow  a0  a1  a2  a3
+    --cwnd      time_ps  tdn    cwnd  ssthresh
+    --timeseq   time_ps  acked_through
+"""
+import argparse
+import json
+import sys
+
+# Stable serialization ids (tracepoints.hpp); used only for the extraction
+# modes, the default dump resolves names through the document's table.
+POINT_CWND_UPDATE = 2
+POINT_SACK_EDIT = 6
+POINT_UNDO = 7
+SACK_EDIT_ACKED = 3
+
+
+def load(path):
+    try:
+        f = open(path)
+    except OSError as e:
+        sys.exit(f"{path}: cannot open trace document ({e.strerror})")
+    with f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: not valid JSON ({e})")
+    if doc.get("schema") != "tdtcp-trace/1":
+        sys.exit(f"{path}: not a tdtcp-trace/1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def records(doc, flow):
+    for rec in doc.get("records", []):
+        t, point, rflow, a0, a1, a2, a3 = (int(v) for v in rec)
+        if flow is not None and rflow != flow:
+            continue
+        yield t, point, rflow, a0, a1, a2, a3
+
+
+def dump_all(doc, flow):
+    names = doc.get("points", {})
+    print("time_ps\tpoint\tflow\ta0\ta1\ta2\ta3")
+    for t, point, rflow, a0, a1, a2, a3 in records(doc, flow):
+        name = names.get(str(point), str(point))
+        print(f"{t}\t{name}\t{rflow}\t{a0}\t{a1}\t{a2}\t{a3}")
+
+
+def dump_cwnd(doc, flow):
+    print("time_ps\ttdn\tcwnd\tssthresh")
+    for t, point, _, a0, a1, a2, _ in records(doc, flow):
+        if point in (POINT_CWND_UPDATE, POINT_UNDO):
+            print(f"{t}\t{a0}\t{a1}\t{a2}")
+
+
+def dump_timeseq(doc, flow):
+    print("time_ps\tacked_through")
+    high = 0
+    for t, point, _, a0, a1, a2, _ in records(doc, flow):
+        if point == POINT_SACK_EDIT and a0 == SACK_EDIT_ACKED:
+            # a1 = seq, a2 = len; report the monotone high-water mark.
+            if a1 + a2 > high:
+                high = a1 + a2
+                print(f"{t}\t{high}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="tdtcp-trace/1 JSON document")
+    ap.add_argument("--flow", type=int, default=None,
+                    help="only this FlowId (default: all; host/controller "
+                         "records carry flow 0)")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--cwnd", action="store_true",
+                      help="cwnd/ssthresh evolution (cwnd updates + undos)")
+    mode.add_argument("--timeseq", action="store_true",
+                      help="cumulative bytes retired over time")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    if args.cwnd:
+        dump_cwnd(doc, args.flow)
+    elif args.timeseq:
+        dump_timeseq(doc, args.flow)
+    else:
+        dump_all(doc, args.flow)
+
+
+if __name__ == "__main__":
+    main()
