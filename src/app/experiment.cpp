@@ -56,6 +56,20 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   Workload workload(sim, topo, config.workload);
 
+  std::unique_ptr<ChurnGenerator> churn;
+  if (config.churn.enabled) {
+    ChurnConfig cc = config.churn;
+    if (cc.inherit_base) {
+      cc.base = config.workload.base;
+      // Churn cycles are plain TcpConnection pairs; an MPTCP experiment's
+      // churn traffic runs the subflow transport instead.
+      cc.variant = config.workload.variant == Variant::kMptcp
+                       ? Variant::kCubic
+                       : config.workload.variant;
+    }
+    churn = std::make_unique<ChurnGenerator>(sim, topo, cc, config.seed);
+  }
+
   // Arm the fault injector (if any) after the flows exist but before the
   // controller's synchronous t=0 notification, so the very first NotifyHosts
   // already passes through the control-plane fault hook.
@@ -82,6 +96,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         topo.host(rack, i)->SetTraceRing(trace_ring.get());
       }
     }
+    if (churn) churn->SetTraceRing(trace_ring.get());
     for (auto& f : workload.flows()) {
       if (f.tcp_sender) f.tcp_sender->SetTraceRing(trace_ring.get());
       // Both endpoints of a flow share its FlowId, but replay recreates only
@@ -106,6 +121,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   controller.Start();
   workload.Start();
+  if (churn) churn->Start();
   if (recorder) {
     // Workload::Start just called Connect()/SetUnlimitedData(true) on every
     // sender; mirror them into the recording after the t=0 notification the
@@ -150,6 +166,26 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sim.ScheduleNoCancel(config.warmup, [&] { bytes_at_warmup = workload.total_bytes_acked(); });
 
   sim.RunUntil(config.duration);
+  // Freeze the goodput window before any churn drain extends the run.
+  const std::uint64_t bytes_at_end = workload.total_bytes_acked();
+
+  if (churn) {
+    // Drain: the arrival process runs until it reaches its target — arrivals
+    // deferred behind busy slots spill past `duration` — and every open cycle
+    // then resolves within slot_timeout of its opening (the app-level abort
+    // guarantees it). Step the clock until the generator reports done; the
+    // iteration bound is a backstop against misconfiguration, generous enough
+    // that hitting it means something is genuinely wedged (which the
+    // churn_all_closed result flag then records).
+    const SimTime step = config.churn.slot_timeout + SimTime::Millis(1);
+    for (int i = 0;
+         i < 100000 && !(churn->stats().opened >=
+                             config.churn.target_connections &&
+                         churn->AllClosed());
+         ++i) {
+      sim.RunUntil(sim.now() + step);
+    }
+  }
 
   const Schedule schedule(config.schedule);
 
@@ -158,7 +194,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   r.week = schedule.week_length();
   r.duration = config.duration;
   r.warmup = config.warmup;
-  r.total_bytes = workload.total_bytes_acked();
+  r.total_bytes = bytes_at_end;
   const double window_s = (config.duration - config.warmup).seconds();
   if (window_s > 0) {
     r.goodput_bps =
@@ -256,6 +292,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     if (f.tcp_receiver) {
       r.tdn_inferred_switches += f.tcp_receiver->stats().tdn_inferred_switches;
     }
+  }
+
+  // Connection-churn accounting.
+  if (churn) {
+    r.churn = churn->stats();
+    r.churn_hash = churn->hash();
+    r.churn_all_closed = churn->AllClosed();
   }
 
   // Fault/robustness accounting.

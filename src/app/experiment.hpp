@@ -45,6 +45,10 @@ struct ExperimentConfig {
   TopologyConfig topology;
   ScheduleConfig schedule;
   WorkloadConfig workload;
+  // Connection churn riding alongside (or instead of) the long-lived flows;
+  // disabled by default. When churn.inherit_base is set (the default) the
+  // generator adopts workload.base/variant at run time.
+  ChurnConfig churn;
   // Fault scenario; an empty plan (the default) arms no injector.
   FaultPlan fault;
   // Tracepoint ring / replay recording; disabled by default.
@@ -111,6 +115,21 @@ struct ExperimentConfig {
     fault = plan;
     return *this;
   }
+  // Adds a churn workload of `connections` open/transfer/close cycles with
+  // Poisson arrivals, inheriting the experiment's transport configuration.
+  ExperimentConfig& WithChurn(std::uint32_t connections,
+                              SimTime mean_interarrival = SimTime::Micros(100)) {
+    churn.enabled = true;
+    churn.target_connections = connections;
+    churn.mean_interarrival = mean_interarrival;
+    return *this;
+  }
+  // Full-control churn configuration (enabled implicitly).
+  ExperimentConfig& WithChurnConfig(ChurnConfig c) {
+    churn = std::move(c);
+    churn.enabled = true;
+    return *this;
+  }
   ExperimentConfig& WithTrace(std::size_t ring_capacity = 1u << 16) {
     trace.enabled = true;
     trace.ring_capacity = ring_capacity;
@@ -168,6 +187,14 @@ struct ExperimentResult {
   std::vector<double> reorder_marked_per_day;
   std::vector<double> spurious_rtx_per_day;
   std::uint64_t duplicate_segments = 0;
+
+  // Connection-churn accounting (all zero when churn was disabled). After a
+  // churn run the simulation drains for one slot_timeout past `duration` so
+  // in-flight cycles finish; churn_all_closed then asserts that every opened
+  // connection reached kClosed with a definite CloseReason.
+  ChurnStats churn;
+  std::uint64_t churn_hash = 0;   // ChurnGenerator::hash() fingerprint
+  bool churn_all_closed = true;
 
   // Fault-injection accounting (all zero when the plan was empty).
   std::uint64_t faults_injected = 0;       // every recorded fault event

@@ -99,6 +99,16 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       // round-trip exactly; 53 bits is ample for an equality fingerprint.
       {"trace_hash", static_cast<double>(r.trace_hash & ((1ull << 53) - 1))},
       {"trace_records", static_cast<double>(r.trace_records)},
+      // Churn lifecycle metrics (zero when churn was disabled). Appended at
+      // the end: downstream consumers index metrics by name, but the sweep
+      // regression fixtures pin the leading entries' order.
+      {"churn_opened", static_cast<double>(r.churn.opened)},
+      {"churn_closed", static_cast<double>(r.churn.closed)},
+      {"churn_abnormal", static_cast<double>(r.churn.abnormal())},
+      {"churn_app_timeouts", static_cast<double>(r.churn.app_timeouts)},
+      {"churn_bytes", static_cast<double>(r.churn.bytes_completed)},
+      {"churn_hash", static_cast<double>(r.churn_hash & ((1ull << 53) - 1))},
+      {"churn_all_closed", r.churn_all_closed ? 1.0 : 0.0},
   };
 }
 

@@ -1,6 +1,8 @@
 #include "app/workload.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -169,6 +171,153 @@ std::uint64_t Workload::total_duplicate_segments() const {
   std::uint64_t total = 0;
   for (const auto& f : flows_) total += f.duplicate_segments();
   return total;
+}
+
+// --- connection churn --------------------------------------------------------
+
+ChurnGenerator::ChurnGenerator(Simulator& sim, Topology& topo,
+                               ChurnConfig config, std::uint64_t seed)
+    : sim_(sim),
+      topo_(topo),
+      config_(std::move(config)),
+      rng_(seed ^ config_.seed_salt),
+      slots_(config_.max_concurrent),
+      next_flow_(config_.first_flow_id) {
+  if (config_.variant == Variant::kMptcp) {
+    throw std::invalid_argument(
+        "churn uses plain TcpConnection pairs; pick a non-MPTCP variant");
+  }
+  assert(config_.max_concurrent > 0);
+  assert(config_.min_transfer_bytes > 0 &&
+         config_.min_transfer_bytes <= config_.max_transfer_bytes);
+  // Lowest index pops first.
+  free_.reserve(slots_.size());
+  for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i > 0; --i) {
+    free_.push_back(i - 1);
+  }
+}
+
+void ChurnGenerator::Start() { ScheduleArrival(); }
+
+void ChurnGenerator::ScheduleArrival() {
+  if (stats_.opened >= config_.target_connections) return;
+  const double mean_ps =
+      static_cast<double>(config_.mean_interarrival.picos());
+  const auto gap_ps =
+      std::max<std::int64_t>(1, std::llround(rng_.Exponential(mean_ps)));
+  sim_.Schedule(SimTime::Picos(gap_ps), [this] { OnArrival(); });
+}
+
+void ChurnGenerator::OnArrival() {
+  if (stats_.opened >= config_.target_connections) return;
+  if (free_.empty()) {
+    ++stats_.deferred;
+    ScheduleArrival();
+    return;
+  }
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  Slot& slot = slots_[idx];
+  slot.flow = next_flow_++;
+  slot.opened_at = sim_.now();
+  slot.closed_ends = 0;
+  slot.sender_reason = CloseReason::kNone;
+  slot.receiver_reason = CloseReason::kNone;
+  slot.in_use = true;
+
+  const std::uint64_t bytes = static_cast<std::uint64_t>(rng_.UniformInt(
+      static_cast<std::int64_t>(config_.min_transfer_bytes),
+      static_cast<std::int64_t>(config_.max_transfer_bytes)));
+  const std::uint32_t host_idx = idx % topo_.config().hosts_per_rack;
+  Host* src = topo_.host(config_.src_rack, host_idx);
+  Host* dst = topo_.host(config_.dst_rack, host_idx);
+
+  const TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+  TcpConfig rc = tc;
+  rc.close_on_peer_fin = true;  // server: close as soon as the request ends
+  slot.receiver = std::make_unique<TcpConnection>(sim_, dst, slot.flow,
+                                                  src->id(), rc);
+  slot.receiver->SetClosedCallback([this, idx](CloseReason reason) {
+    OnEndClosed(idx, /*sender_end=*/false, reason);
+  });
+  if (trace_ring_ != nullptr) slot.receiver->SetTraceRing(trace_ring_);
+  slot.receiver->Listen();
+
+  slot.sender = std::make_unique<TcpConnection>(sim_, src, slot.flow,
+                                                dst->id(), tc);
+  slot.sender->SetClosedCallback([this, idx](CloseReason reason) {
+    OnEndClosed(idx, /*sender_end=*/true, reason);
+  });
+  if (trace_ring_ != nullptr) slot.sender->SetTraceRing(trace_ring_);
+  slot.sender->Connect();
+  slot.sender->AddAppData(bytes);
+  slot.sender->Close();  // lingering close: the FIN rides behind the data
+
+  slot.timeout = sim_.Schedule(config_.slot_timeout,
+                               [this, idx] { OnSlotTimeout(idx); });
+  ++stats_.opened;
+  ++active_;
+  ScheduleArrival();
+}
+
+void ChurnGenerator::OnEndClosed(std::uint32_t idx, bool sender_end,
+                                 CloseReason reason) {
+  Slot& slot = slots_[idx];
+  assert(slot.in_use);
+  if (sender_end) {
+    slot.sender_reason = reason;
+  } else {
+    slot.receiver_reason = reason;
+  }
+  if (++slot.closed_ends < 2) return;
+
+  // Both endpoints reached kClosed: the cycle is complete.
+  if (slot.timeout != kInvalidEventId) {
+    sim_.Cancel(slot.timeout);
+    slot.timeout = kInvalidEventId;
+  }
+  ++stats_.closed;
+  ++stats_.reasons[static_cast<std::size_t>(slot.sender_reason)];
+  stats_.bytes_completed += slot.sender->bytes_acked();
+  Fold(slot.flow);
+  Fold(static_cast<std::uint64_t>(slot.opened_at.picos()));
+  Fold(static_cast<std::uint64_t>(sim_.now().picos()));
+  Fold((static_cast<std::uint64_t>(slot.sender_reason) << 8) |
+       static_cast<std::uint64_t>(slot.receiver_reason));
+  --active_;
+  // We are inside the second endpoint's ToClosed: its ClosedFn must not
+  // destroy the connection synchronously. Reclaim on the next event.
+  sim_.Schedule(SimTime::Zero(), [this, idx] { Reclaim(idx); });
+}
+
+void ChurnGenerator::OnSlotTimeout(std::uint32_t idx) {
+  Slot& slot = slots_[idx];
+  slot.timeout = kInvalidEventId;
+  if (!slot.in_use || slot.closed_ends >= 2) return;
+  ++stats_.app_timeouts;
+  // Abort whichever ends are still open; each Abort fires OnEndClosed
+  // synchronously, and the second one schedules the reclamation.
+  if (slot.sender->state() != TcpConnection::State::kClosed) {
+    slot.sender->Abort(CloseReason::kUserAbort);
+  }
+  if (slot.receiver->state() != TcpConnection::State::kClosed) {
+    slot.receiver->Abort(CloseReason::kUserAbort);
+  }
+}
+
+void ChurnGenerator::Reclaim(std::uint32_t idx) {
+  Slot& slot = slots_[idx];
+  slot.sender.reset();
+  slot.receiver.reset();
+  slot.in_use = false;
+  free_.push_back(idx);
+}
+
+void ChurnGenerator::Fold(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xff;
+    hash_ *= 1099511628211ull;  // FNV prime
+  }
 }
 
 }  // namespace tdtcp

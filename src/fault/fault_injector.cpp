@@ -20,6 +20,8 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kStallDrop: return "stall-drop";
     case FaultKind::kLinkDown: return "link-down";
     case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kHostDown: return "host-down";
+    case FaultKind::kHostUp: return "host-up";
   }
   return "?";
 }
@@ -88,6 +90,26 @@ void FaultInjector::Arm(Topology& topo) {
       ++stats_.link_transitions;
       Record(FaultKind::kLinkUp, 0, rack);
     });
+  }
+
+  for (const HostDownWindow& w : plan_.host_downs) {
+    if (w.rack >= racks || w.host_index >= topo.config().hosts_per_rack) {
+      continue;
+    }
+    Host* host = topo.host(w.rack, w.host_index);
+    const std::uint32_t node = host->id();
+    sim_.ScheduleAtNoCancel(w.down_at, [this, host, node] {
+      host->set_nic_enabled(false);
+      ++stats_.host_transitions;
+      Record(FaultKind::kHostDown, 0, node);
+    });
+    if (!w.duration.IsZero()) {
+      sim_.ScheduleAtNoCancel(w.down_at + w.duration, [this, host, node] {
+        host->set_nic_enabled(true);
+        ++stats_.host_transitions;
+        Record(FaultKind::kHostUp, 0, node);
+      });
+    }
   }
 
   if (!plan_.audit_interval.IsZero()) ScheduleAudit();

@@ -36,6 +36,8 @@ enum class FaultKind : std::uint8_t {
   kStallDrop,        // swallowed by a controller stall window
   kLinkDown,
   kLinkUp,
+  kHostDown,         // one host's NIC dies silently (subject = NodeId)
+  kHostUp,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -56,11 +58,13 @@ struct FaultStats {
   std::uint64_t notifications_duplicated = 0;
   std::uint64_t stall_dropped = 0;
   std::uint64_t link_transitions = 0;
+  std::uint64_t host_transitions = 0;
 
   std::uint64_t total() const {
     return data_dropped + data_corrupted + burst_dropped +
            notifications_dropped + notifications_delayed +
-           notifications_duplicated + stall_dropped + link_transitions;
+           notifications_duplicated + stall_dropped + link_transitions +
+           host_transitions;
   }
 };
 

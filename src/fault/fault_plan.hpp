@@ -48,6 +48,18 @@ struct LinkDownWindow {
   SimTime duration = SimTime::Zero();
 };
 
+// Scheduled death of one host's NIC (kernel panic mid-connection, hard
+// power-off). Both directions drop silently at the host — no RST, no link
+// carrier event — so its peers only discover the death through their own
+// bounded-retry machinery (SYN caps, max_rto_retries, persist give-up),
+// while the downed host's local timers keep running and abort its side too.
+struct HostDownWindow {
+  RackId rack = 0;
+  std::uint32_t host_index = 0;
+  SimTime down_at = SimTime::Zero();
+  SimTime duration = SimTime::Zero();  // zero = never comes back
+};
+
 // Control-plane faults, applied independently to every per-host ICMP
 // notification a ToR generates (§3.2's unreliable notification channel).
 struct ControlFaultSpec {
@@ -81,6 +93,7 @@ struct FaultPlan {
   LinkFaultSpec fabric;      // every ToR-to-ToR fabric port
   LinkFaultSpec host_links;  // every rack NIC link (up and down)
   std::vector<LinkDownWindow> link_downs;
+  std::vector<HostDownWindow> host_downs;
   ControlFaultSpec control;
 
   // Mixed into the experiment seed to derive the injector's dedicated
@@ -93,7 +106,7 @@ struct FaultPlan {
 
   bool Empty() const {
     return fabric.Empty() && host_links.Empty() && link_downs.empty() &&
-           control.Empty();
+           host_downs.empty() && control.Empty();
   }
 };
 

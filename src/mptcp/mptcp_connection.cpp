@@ -35,6 +35,9 @@ MptcpConnection::MptcpConnection(Simulator& sim, Host* host, FlowId flow,
     });
     raw->SetSendReadyCallback([this] { TrySchedule(); });
     raw->SetEstablishedCallback([this] { TrySchedule(); });
+    raw->SetClosedCallback([this, i](CloseReason reason) {
+      OnSubflowClosed(i, reason);
+    });
     subflows_.push_back(std::move(sub));
   }
   host_->RegisterEndpoint(flow_, this);
@@ -45,7 +48,7 @@ MptcpConnection::MptcpConnection(Simulator& sim, Host* host, FlowId flow,
 
 MptcpConnection::~MptcpConnection() {
   if (reinject_timer_ != kInvalidEventId) sim_.Cancel(reinject_timer_);
-  host_->UnregisterEndpoint(flow_);
+  host_->UnregisterEndpoint(flow_, this);  // sink-checked: no-op after close
   host_->RemoveTdnListener(this);
 }
 
@@ -61,6 +64,81 @@ void MptcpConnection::Connect() {
 void MptcpConnection::SetUnlimitedData(bool unlimited) {
   unlimited_ = unlimited;
   TrySchedule();
+}
+
+void MptcpConnection::Close() {
+  unlimited_ = false;  // no new mappings; queued data drains ahead of FINs
+  for (auto& s : subflows_) s->Close();
+}
+
+void MptcpConnection::Abort(CloseReason reason) {
+  unlimited_ = false;
+  for (auto& s : subflows_) s->Abort(reason);
+}
+
+CloseReason MptcpConnection::close_reason() const {
+  if (!closed()) return CloseReason::kNone;
+  return abnormal_reason_ != CloseReason::kNone ? abnormal_reason_
+                                                : CloseReason::kNormal;
+}
+
+TcpConnection* MptcpConnection::FindSurvivor(std::uint32_t excluding) {
+  // Prefer an established survivor; fall back to one still handshaking or
+  // draining (its queue is preserved either way).
+  TcpConnection* fallback = nullptr;
+  for (std::uint32_t i = 0; i < subflows_.size(); ++i) {
+    if (i == excluding) continue;
+    TcpConnection* s = subflows_[i].get();
+    if (s->state() == TcpConnection::State::kClosed) continue;
+    if (s->state() == TcpConnection::State::kEstablished) return s;
+    if (fallback == nullptr) fallback = s;
+  }
+  return fallback;
+}
+
+void MptcpConnection::ReinjectOrphans(std::uint32_t dead_idx) {
+  TcpConnection* target = FindSurvivor(dead_idx);
+  if (target == nullptr) return;
+  // UnackedDssRanges() on a closed subflow returns the snapshot its abort
+  // took before releasing the scoreboard (scheduled-but-unsent included).
+  for (const auto& r : subflows_[dead_idx]->UnackedDssRanges()) {
+    if (r.dss_seq + r.len <= dss_una_) continue;  // already meta-acked
+    target->AddMappedData(r.len, r.dss_seq);
+    ++mp_stats_.reinjections;
+    ++mp_stats_.abort_reinjections;
+    mp_stats_.reinjected_bytes += r.len;
+  }
+}
+
+void MptcpConnection::OnSubflowClosed(std::uint32_t idx, CloseReason reason) {
+  ++closed_subflows_;
+  if (reason != CloseReason::kNormal) {
+    ++mp_stats_.subflow_aborts;
+    if (abnormal_reason_ == CloseReason::kNone) abnormal_reason_ = reason;
+    // Fail over before reinjecting so the rescue lands on a live subflow,
+    // then rescue whatever DSS ranges died with this one.
+    if (idx == active_subflow_) {
+      for (std::uint32_t i = 0; i < subflows_.size(); ++i) {
+        if (i != idx &&
+            subflows_[i]->state() != TcpConnection::State::kClosed) {
+          active_subflow_ = i;
+          break;
+        }
+      }
+    }
+    ReinjectOrphans(idx);
+    TrySchedule();
+  }
+  if (!closed()) return;
+  // Last subflow down: the meta-connection is gone. Release the demux entry
+  // and listener now (not at destruction) so churned metas never dangle.
+  if (reinject_timer_ != kInvalidEventId) {
+    sim_.Cancel(reinject_timer_);
+    reinject_timer_ = kInvalidEventId;
+  }
+  host_->UnregisterEndpoint(flow_, this);
+  host_->RemoveTdnListener(this);
+  if (on_closed_) on_closed_(close_reason());
 }
 
 void MptcpConnection::HandlePacket(Packet&& p) {

@@ -57,6 +57,8 @@ class MptcpConnection : public PacketSink {
     std::uint64_t stall_checks = 0;
     std::uint64_t meta_duplicates = 0;  // receiver-side DSS dups discarded
     std::uint64_t zero_window_acks = 0; // flow-control stall evidence
+    std::uint64_t subflow_aborts = 0;   // subflows closed abnormally
+    std::uint64_t abort_reinjections = 0;  // DSS ranges rescued from them
   };
 
   MptcpConnection(Simulator& sim, Host* host, FlowId flow, NodeId peer,
@@ -66,6 +68,21 @@ class MptcpConnection : public PacketSink {
   void Listen();
   void Connect();
   void SetUnlimitedData(bool unlimited);
+
+  // Graceful meta close: every subflow sends its FIN through the normal
+  // machinery. The meta reaches kClosed — and ClosedFn fires — once the last
+  // subflow does. An aborted subflow (RST, retry cap) hands its stranded DSS
+  // ranges to a survivor before the meta gives up on them.
+  void Close();
+  void Abort(CloseReason reason = CloseReason::kUserAbort);
+  using ClosedFn = TcpConnection::ClosedFn;
+  // Same contract as TcpConnection::SetClosedCallback: the callback must not
+  // destroy the meta-connection synchronously.
+  void SetClosedCallback(ClosedFn fn) { on_closed_ = std::move(fn); }
+  bool closed() const { return closed_subflows_ == subflows_.size(); }
+  // kNormal when every subflow closed gracefully; otherwise the first
+  // abnormal subflow reason (kNone while any subflow is still open).
+  CloseReason close_reason() const;
 
   void HandlePacket(Packet&& p) override;
 
@@ -84,6 +101,10 @@ class MptcpConnection : public PacketSink {
 
  private:
   void OnTdnChange(TdnId tdn, bool imminent);
+  void OnSubflowClosed(std::uint32_t idx, CloseReason reason);
+  // Remap DSS ranges stranded on a dead subflow onto a surviving one.
+  void ReinjectOrphans(std::uint32_t dead_idx);
+  TcpConnection* FindSurvivor(std::uint32_t excluding);
   void TrySchedule();
   void OnDssAck(std::uint64_t dss_ack, std::uint64_t dss_rwnd);
   void OnSubflowDeliver(const TcpConnection::DeliverInfo& info);
@@ -109,6 +130,11 @@ class MptcpConnection : public PacketSink {
 
   EventId reinject_timer_ = kInvalidEventId;
   SimTime last_progress_;
+
+  // Teardown: count of subflows at kClosed, first abnormal reason seen.
+  std::uint32_t closed_subflows_ = 0;
+  CloseReason abnormal_reason_ = CloseReason::kNone;
+  ClosedFn on_closed_;
 
   Stats mp_stats_;
 };

@@ -7,11 +7,28 @@ namespace tdtcp {
 
 void Host::Send(Packet&& p) {
   assert(uplink_ != nullptr && "host has no uplink");
+  if (!nic_enabled_) {
+    ++dropped_nic_down_;
+    return;
+  }
   p.src = id_;
   uplink_->Enqueue(std::move(p));
 }
 
+void Host::set_nic_enabled(bool enabled) {
+  if (enabled == nic_enabled_) return;
+  nic_enabled_ = enabled;
+  if (has_trace_) {
+    trace_->Emit(sim_.now().picos(), TracePoint::kHostNicState,
+                 /*flow=*/0, enabled ? 1 : 0, 0, 0, id_);
+  }
+}
+
 void Host::HandlePacket(Packet&& p) {
+  if (!nic_enabled_) {
+    ++dropped_nic_down_;
+    return;
+  }
   if (p.type == PacketType::kTdnNotify) {
     if (p.notify_seq != 0) {
       // Sequenced notification: apply it only if it is newer than the last
@@ -41,6 +58,26 @@ void Host::HandlePacket(Packet&& p) {
   auto it = endpoints_.find(p.flow);
   if (it == endpoints_.end()) {
     ++dropped_no_endpoint_;
+    // RFC 9293: a segment aimed at a closed endpoint gets RST — unless it is
+    // itself an RST (never answer RST with RST, or two dead ends ping-pong
+    // forever). The peer's connection aborts with kPeerReset instead of
+    // retransmitting into the void.
+    if (!p.rst && p.src != kInvalidNode) {
+      Packet rst;
+      rst.id = sim_.NextPacketId();
+      rst.type = PacketType::kData;
+      rst.rst = true;
+      rst.flow = p.flow;
+      rst.dst = p.src;
+      rst.seq = p.ack;
+      rst.size_bytes = 60;
+      rst.pinned_path = p.pinned_path;
+      rst.subflow = p.subflow;
+      rst.is_mptcp = p.is_mptcp;
+      rst.sent_time = sim_.now();
+      ++rsts_sent_;
+      Send(std::move(rst));
+    }
     return;
   }
   it->second->HandlePacket(std::move(p));

@@ -40,7 +40,17 @@ class Host : public PacketSink {
   void RegisterEndpoint(FlowId flow, PacketSink* endpoint) {
     endpoints_[flow] = endpoint;
   }
-  void UnregisterEndpoint(FlowId flow) { endpoints_.erase(flow); }
+  // `endpoint` guards against the churn race where a closed connection's
+  // deferred teardown would evict a new connection that reused its FlowId:
+  // only the sink that owns the entry may remove it (nullptr = any owner).
+  void UnregisterEndpoint(FlowId flow, PacketSink* endpoint = nullptr) {
+    auto it = endpoints_.find(flow);
+    if (it == endpoints_.end()) return;
+    if (endpoint != nullptr && it->second != endpoint) return;
+    endpoints_.erase(it);
+  }
+  std::size_t num_endpoints() const { return endpoints_.size(); }
+  std::size_t num_tdn_listeners() const { return tdn_listeners_.size(); }
 
   // Flow-ordered: the i-th registered listener is the i-th established flow
   // the push model iterates over. `owner` keys removal. `peer_rack` filters
@@ -64,6 +74,14 @@ class Host : public PacketSink {
   void HandlePacket(Packet&& p) override;
 
   std::uint64_t dropped_no_endpoint() const { return dropped_no_endpoint_; }
+  std::uint64_t rsts_sent() const { return rsts_sent_; }
+
+  // FaultKind::kHostDown model: the NIC dies (both directions drop silently)
+  // but the host's kernel timers keep running, so local connections march
+  // through their retry caps and abort deterministically.
+  void set_nic_enabled(bool enabled);
+  bool nic_enabled() const { return nic_enabled_; }
+  std::uint64_t dropped_nic_down() const { return dropped_nic_down_; }
 
   // Sequenced notifications (Packet::notify_seq != 0) filtered because a
   // newer one for the same peer scope was already applied -- duplicates,
@@ -95,6 +113,9 @@ class Host : public PacketSink {
   std::vector<ListenerEntry> tdn_listeners_;
   NotifyDistribution notify_;
   std::uint64_t dropped_no_endpoint_ = 0;
+  std::uint64_t rsts_sent_ = 0;
+  bool nic_enabled_ = true;
+  std::uint64_t dropped_nic_down_ = 0;
   // Highest applied notify_seq per peer scope (kAllRacks is its own scope).
   std::unordered_map<RackId, std::uint64_t> last_notify_seq_;
   std::uint64_t stale_notifications_dropped_ = 0;

@@ -63,6 +63,7 @@ struct Packet {
   bool has_rwnd = false;        // rcv_window field is meaningful (zero = stall)
   bool syn = false;
   bool fin = false;
+  bool rst = false;
   bool ece = false;  // ECN-Echo
   bool cwr = false;  // Congestion Window Reduced
 

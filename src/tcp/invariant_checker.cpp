@@ -25,6 +25,7 @@ const char* TcpInvariantChecker::EventName(Event ev) {
     case Event::kLoss: return "loss";
     case Event::kTdnSwitch: return "tdn-switch";
     case Event::kRto: return "rto";
+    case Event::kClose: return "close";
   }
   return "?";
 }
@@ -178,11 +179,11 @@ void TcpInvariantChecker::Violate(TcpConnection& conn, Event ev,
   for (const TxSegment& seg : segs) {
     if (++shown > 64) break;
     std::fprintf(out,
-                 "  seq=%" PRIu64 " len=%u tdn=%u tx=%u%s%s%s%s\n",
+                 "  seq=%" PRIu64 " len=%u tdn=%u tx=%u%s%s%s%s%s\n",
                  seg.seq, seg.len, static_cast<unsigned>(seg.tdn),
                  seg.transmissions, seg.syn ? " SYN" : "",
-                 seg.sacked ? " SACKED" : "", seg.lost ? " LOST" : "",
-                 seg.retrans ? " RETRANS" : "");
+                 seg.fin ? " FIN" : "", seg.sacked ? " SACKED" : "",
+                 seg.lost ? " LOST" : "", seg.retrans ? " RETRANS" : "");
   }
   if (const FaultTraceSource* faults = conn.fault_trace()) {
     faults->DumpRecentFaults(out, 32);

@@ -37,7 +37,7 @@ class FaultTraceSource {
 
 class TcpInvariantChecker {
  public:
-  enum class Event : std::uint8_t { kAck, kLoss, kTdnSwitch, kRto };
+  enum class Event : std::uint8_t { kAck, kLoss, kTdnSwitch, kRto, kClose };
   static const char* EventName(Event ev);
 
   // Validates the connection's full accounting state; throws

@@ -24,6 +24,7 @@ struct TxSegment {
   SimTime last_sent;
   std::uint32_t transmissions = 1;
   bool syn = false;
+  bool fin = false;  // sequence-occupying FIN (1 virtual byte, like the SYN)
   bool sacked = false;
   bool lost = false;
   bool retrans = false;        // a retransmission is currently in flight

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,19 +43,23 @@ TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
   if (config_.invariant_checks) {
     checker_ = std::make_unique<TcpInvariantChecker>();
   }
-  if (config_.register_endpoint) host_->RegisterEndpoint(flow_, this);
+  if (config_.register_endpoint) {
+    host_->RegisterEndpoint(flow_, this);
+    endpoint_registered_ = true;
+  }
   if (config_.listen_tdn_notifications) {
     host_->AddTdnListener(
         this,
         [this](TdnId tdn, bool imminent) { OnTdnChange(tdn, imminent); },
         config_.peer_rack);
+    tdn_listener_registered_ = true;
   }
 }
 
 TcpConnection::~TcpConnection() {
   CancelTimers();
-  if (config_.register_endpoint) host_->UnregisterEndpoint(flow_);
-  if (config_.listen_tdn_notifications) host_->RemoveTdnListener(this);
+  if (endpoint_registered_) host_->UnregisterEndpoint(flow_, this);
+  if (tdn_listener_registered_) host_->RemoveTdnListener(this);
 }
 
 // ---------------------------------------------------------------------------
@@ -66,13 +73,52 @@ void TcpConnection::SetState(State s) {
   state_ = s;
 }
 
+const char* TcpConnection::StateName(State s) {
+  switch (s) {
+    case State::kClosed: return "Closed";
+    case State::kListen: return "Listen";
+    case State::kSynSent: return "SynSent";
+    case State::kSynReceived: return "SynReceived";
+    case State::kEstablished: return "Established";
+    case State::kFinWait1: return "FinWait1";
+    case State::kFinWait2: return "FinWait2";
+    case State::kClosing: return "Closing";
+    case State::kTimeWait: return "TimeWait";
+    case State::kCloseWait: return "CloseWait";
+    case State::kLastAck: return "LastAck";
+  }
+  return "?";
+}
+
+void TcpConnection::LifecycleError(const char* api) const {
+  // Same discipline as TcpInvariantChecker::Violate: dump the state that
+  // proves the misuse, then throw — release builds included. An assert here
+  // would let a release-mode churn harness silently clobber a live
+  // connection's sequence space.
+  std::fprintf(stderr,
+               "\n=== TCP lifecycle error (flow %u) ===\n"
+               "%s() requires a fresh connection in state Closed; "
+               "state=%s close_reason=%s snd_una=%llu snd_nxt=%llu\n"
+               "=== end lifecycle error ===\n",
+               flow_, api, StateName(state_), CloseReasonName(close_reason_),
+               static_cast<unsigned long long>(snd_una_),
+               static_cast<unsigned long long>(snd_nxt_));
+  throw std::logic_error(std::string("TcpConnection::") + api +
+                         " on flow " + std::to_string(flow_) + " in state " +
+                         StateName(state_) + " (expected a fresh Closed)");
+}
+
 void TcpConnection::Listen() {
-  assert(state_ == State::kClosed);
+  if (state_ != State::kClosed || close_reason_ != CloseReason::kNone) {
+    LifecycleError("Listen");
+  }
   SetState(State::kListen);
 }
 
 void TcpConnection::Connect() {
-  assert(state_ == State::kClosed);
+  if (state_ != State::kClosed || close_reason_ != CloseReason::kNone) {
+    LifecycleError("Connect");
+  }
   SetState(State::kSynSent);
   SendSyn(/*is_synack=*/false);
   ArmRto();
@@ -174,8 +220,217 @@ void TcpConnection::OnSynAck(const Packet& p) {
 void TcpConnection::CompleteHandshake() {
   SetState(State::kEstablished);
   CancelTimers();
+  rto_retries_ = 0;
   if (on_established_) on_established_();
+  // A Close() issued before the handshake completed (lingering close) takes
+  // effect now: the FIN follows whatever data was queued.
+  if (fin_pending_ && state_ == State::kEstablished) {
+    SetState(State::kFinWait1);
+  }
   MaybeSend();
+}
+
+void TcpConnection::ResetToListen() {
+  // SYN-ACK retransmission cap: drop the half-open attempt and become a
+  // fresh listener (RFC 9293's "return to LISTEN"). Everything the attempt
+  // put on the scoreboard — the SYN-ACK's virtual byte — is retired with
+  // full per-TDN accounting so the invariant recount stays exact.
+  for (const auto& seg : send_queue_.segments()) {
+    TdnState& st = tdns_.state(seg.tdn);
+    st.packets_out--;
+    if (seg.sacked) st.sacked_out--;
+    if (seg.lost) st.lost_out--;
+    if (seg.retrans) st.retrans_out--;
+  }
+  send_queue_.segments().clear();
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  tdtcp_active_ = false;
+  rto_backoff_ = 0;
+  rto_retries_ = 0;
+  CancelTimers();
+  ++stats_.synack_give_ups;
+  SetState(State::kListen);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+// ---------------------------------------------------------------------------
+
+void TcpConnection::Close() {
+  if (state_ == State::kClosed || fin_pending_ || fin_sent_) return;
+  Trace(TracePoint::kTcpClose, static_cast<std::uint64_t>(state_));
+  unlimited_data_ = false;
+  switch (state_) {
+    case State::kListen:
+      ToClosed(CloseReason::kNormal);
+      return;
+    case State::kSynSent:
+    case State::kSynReceived:
+      // Lingering close: remember the intent and let the handshake finish;
+      // the FIN rides after any data queued before Close(). If the peer is
+      // dead, the SYN retry caps abort with their own reason.
+      fin_pending_ = true;
+      return;
+    case State::kEstablished:
+      fin_pending_ = true;
+      SetState(State::kFinWait1);
+      break;
+    case State::kCloseWait:
+      fin_pending_ = true;
+      SetState(State::kLastAck);
+      break;
+    default:
+      return;  // already on a closing path
+  }
+  MaybeSend();
+}
+
+void TcpConnection::Abort(CloseReason reason) {
+  if (state_ == State::kClosed) return;
+  // An RST is only meaningful from states where the peer knows our sequence
+  // space — and never in reply to the peer's own RST.
+  if (state_ != State::kListen && state_ != State::kSynSent &&
+      reason != CloseReason::kPeerReset) {
+    SendRst();
+  }
+  ToClosed(reason);
+}
+
+void TcpConnection::SendRst() {
+  Packet p;
+  p.id = sim_.NextPacketId();
+  p.type = PacketType::kData;
+  p.rst = true;
+  p.flow = flow_;
+  p.dst = peer_;
+  p.seq = snd_nxt_;
+  p.payload = 0;
+  p.size_bytes = config_.header_bytes;
+  p.pinned_path = config_.pin_path;
+  p.subflow = config_.subflow_id;
+  p.is_mptcp = config_.mptcp;
+  p.sent_time = sim_.now();
+  ++stats_.rsts_sent;
+  Trace(TracePoint::kTcpRstOut, static_cast<std::uint64_t>(state_));
+  if (has_tap_) tap_(TapDirection::kTx, p);
+  host_->Send(std::move(p));
+}
+
+void TcpConnection::OnRst(const Packet& p) {
+  (void)p;
+  ++stats_.rsts_received;
+  Trace(TracePoint::kTcpRstIn, static_cast<std::uint64_t>(state_));
+  switch (state_) {
+    case State::kClosed:
+    case State::kListen:
+      return;  // nothing to abort
+    case State::kSynReceived:
+      // RFC 9293: a reset during a passive open returns to LISTEN.
+      ResetToListen();
+      return;
+    default:
+      ToClosed(CloseReason::kPeerReset);
+      return;
+  }
+}
+
+void TcpConnection::ConsumePeerFin() {
+  switch (state_) {
+    case State::kEstablished:
+      SetState(State::kCloseWait);
+      if (config_.close_on_peer_fin) Close();
+      break;
+    case State::kFinWait1:
+      // Our FIN is still unacked (an ACK covering it would have moved us to
+      // FIN-WAIT-2 already): simultaneous close.
+      SetState(State::kClosing);
+      break;
+    case State::kFinWait2:
+      EnterTimeWait();
+      break;
+    default:
+      break;  // duplicates in Closing/TimeWait/CloseWait/LastAck: re-ACK only
+  }
+}
+
+void TcpConnection::MaybeAdvanceCloseStates() {
+  if (!fin_sent_ || snd_una_ <= fin_seq_) return;
+  switch (state_) {
+    case State::kFinWait1:
+      SetState(State::kFinWait2);
+      break;
+    case State::kClosing:
+      EnterTimeWait();
+      break;
+    case State::kLastAck:
+      ToClosed(CloseReason::kNormal);
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::EnterTimeWait() {
+  SetState(State::kTimeWait);
+  // Our FIN — the last byte of the stream — is acked, so the scoreboard is
+  // empty and no retransmission machinery is needed; only the 2MSL clock and
+  // the duty to re-ACK a retransmitted peer FIN remain.
+  CancelTimers();
+  time_wait_timer_ = sim_.Schedule(config_.time_wait_duration, [this] {
+    time_wait_timer_ = kInvalidEventId;
+    OnTimeWaitFire();
+  });
+  Trace(TracePoint::kTcpTimerArm,
+        static_cast<std::uint64_t>(TraceTimer::kTimeWait),
+        static_cast<std::uint64_t>(
+            (sim_.now() + config_.time_wait_duration).picos()));
+}
+
+void TcpConnection::OnTimeWaitFire() {
+  Trace(TracePoint::kTcpTimerFire,
+        static_cast<std::uint64_t>(TraceTimer::kTimeWait));
+  ToClosed(CloseReason::kNormal);
+}
+
+void TcpConnection::ToClosed(CloseReason reason) {
+  if (state_ == State::kClosed && close_reason_ != CloseReason::kNone) return;
+  // MPTCP: snapshot data-level ranges stranded on this subflow before the
+  // scoreboard is released, so the meta-connection can reinject them onto a
+  // surviving subflow.
+  if (config_.mptcp && reason != CloseReason::kNormal) {
+    orphaned_dss_ = UnackedDssRanges();
+    for (const auto& r : PendingDssRanges()) orphaned_dss_.push_back(r);
+  }
+  // Retire per-TDN pipe accounting for everything still on the scoreboard —
+  // the post-close recount (Event::kClose) then proves every counter hit
+  // exactly zero.
+  for (const auto& seg : send_queue_.segments()) {
+    TdnState& st = tdns_.state(seg.tdn);
+    st.packets_out--;
+    if (seg.sacked) st.sacked_out--;
+    if (seg.lost) st.lost_out--;
+    if (seg.retrans) st.retrans_out--;
+  }
+  send_queue_.segments().clear();
+  pending_.clear();
+  pending_bytes_ = 0;
+  unlimited_data_ = false;
+  dupack_count_ = 0;
+  CancelTimers();
+  SetState(State::kClosed);
+  close_reason_ = reason;
+  if (endpoint_registered_) {
+    host_->UnregisterEndpoint(flow_, this);
+    endpoint_registered_ = false;
+  }
+  if (tdn_listener_registered_) {
+    host_->RemoveTdnListener(this);
+    tdn_listener_registered_ = false;
+  }
+  RunChecker(TcpInvariantChecker::Event::kClose);
+  Trace(TracePoint::kTcpClosed, static_cast<std::uint64_t>(reason));
+  if (on_closed_) on_closed_(reason);
 }
 
 void TcpConnection::DowngradeToRegularTcp() {
@@ -195,14 +450,20 @@ void TcpConnection::SetUnlimitedData(bool unlimited) {
 }
 
 void TcpConnection::AddAppData(std::uint64_t bytes) {
-  if (bytes == 0) return;
+  // Data written after Close() has no sequence space left (the FIN is the
+  // last byte of the stream): drop it.
+  if (bytes == 0 || fin_pending_ || fin_sent_ || state_ == State::kClosed) {
+    return;
+  }
   pending_.push_back(PendingChunk{bytes, false, 0});
   pending_bytes_ += bytes;
   MaybeSend();
 }
 
 void TcpConnection::AddMappedData(std::uint32_t len, std::uint64_t dss_seq) {
-  if (len == 0) return;
+  // Mapped data is accepted until the FIN is actually on the wire: a meta
+  // reinjection may still ride ahead of a pending (not yet sent) FIN.
+  if (len == 0 || fin_sent_ || state_ == State::kClosed) return;
   pending_.push_back(PendingChunk{len, true, dss_seq});
   pending_bytes_ += len;
   MaybeSend();
@@ -221,9 +482,14 @@ std::uint64_t TcpConnection::bytes_acked() const {
 }
 
 std::vector<TcpConnection::DssRange> TcpConnection::UnackedDssRanges() const {
+  // After an abort the scoreboard is gone; the ranges it held were
+  // snapshotted into orphaned_dss_ for the meta-connection to reinject.
+  if (state_ == State::kClosed) return orphaned_dss_;
   std::vector<DssRange> out;
   for (const auto& seg : send_queue_.segments()) {
-    if (seg.has_dss && !seg.syn) out.push_back({seg.dss_seq, seg.len});
+    if (seg.has_dss && !seg.syn && !seg.fin) {
+      out.push_back({seg.dss_seq, seg.len});
+    }
   }
   return out;
 }
@@ -322,22 +588,58 @@ void TcpConnection::HandlePacket(Packet&& p) {
     OnTdnChange(p.notify_tdn, p.circuit_imminent);
     return;
   }
+  if (p.rst) {
+    OnRst(p);
+    return;
+  }
+  if (state_ == State::kClosed) {
+    // A dead endpoint object still wired into the datapath behaves like the
+    // host's closed port: reset the sender (never in reply to an RST, which
+    // the branch above already consumed).
+    SendRst();
+    return;
+  }
   if (p.type == PacketType::kData) {
     if (p.syn) {
       if (state_ == State::kListen) { OnSyn(p); return; }
       if (state_ == State::kSynSent) { OnSynAck(p); return; }
-      return;  // duplicate SYN: peer's RTO will resend ours if lost
+      // Retransmitted SYN-ACK: our handshake ACK was lost. Re-ACK so the
+      // peer can leave SYN-RECEIVED. A bare duplicate SYN is ignored — the
+      // peer's RTO resends our SYN-ACK if that was the loss.
+      if (p.ack == 1 &&
+          (state_ == State::kEstablished || InClosingFamily())) {
+        SendPureAck();
+      }
+      return;
     }
-    if (p.payload > 0) {
+    if (state_ == State::kListen) {
+      // Data at a listener that never saw this handshake.
+      SendRst();
+      return;
+    }
+    if (p.payload > 0 || p.fin) {
       OnDataSegment(std::move(p));
       return;
     }
     return;
   }
   // Pure ACK.
+  if (state_ == State::kListen) {
+    SendRst();
+    return;
+  }
   if (state_ == State::kSynReceived) CompleteHandshake();
-  if (state_ == State::kEstablished || state_ == State::kSynReceived) {
-    OnAckPacket(p);
+  switch (state_) {
+    case State::kEstablished:
+    case State::kFinWait1:
+    case State::kFinWait2:
+    case State::kClosing:
+    case State::kCloseWait:
+    case State::kLastAck:
+      OnAckPacket(p);
+      break;
+    default:
+      break;  // SynSent / TimeWait: a pure ACK carries nothing for us
   }
 }
 
@@ -350,19 +652,46 @@ void TcpConnection::OnDataSegment(Packet&& p) {
     // The handshake ACK can be implicit in the first data segment.
     CompleteHandshake();
   }
-  if (state_ != State::kEstablished) return;
+  if (state_ != State::kEstablished && !InClosingFamily()) return;
 
   // TD_DATA_ACK D bit: the TDN the peer sent this data on.
   NotePeerTdn(p.data_tdn);
 
-  auto result = rcv_buffer_.OnData(p.seq, p.payload, p.has_dss, p.dss_seq,
-                                   sim_.now());
-  if (result.duplicate) ++stats_.duplicate_segments;
-  for (const auto& d : result.delivered) {
-    stats_.bytes_received += d.len;
-    if (deliver_) deliver_(DeliverInfo{d.seq, d.len, d.has_dss, d.dss_seq});
+  ReceiveBuffer::Result result;
+  if (p.payload > 0) {
+    result = rcv_buffer_.OnData(p.seq, p.payload, p.has_dss, p.dss_seq,
+                                sim_.now());
+    if (result.duplicate) ++stats_.duplicate_segments;
+    for (const auto& d : result.delivered) {
+      stats_.bytes_received += d.len;
+      if (deliver_) deliver_(DeliverInfo{d.seq, d.len, d.has_dss, d.dss_seq});
+    }
   }
+  if (p.fin && !fin_received_) {
+    fin_received_ = true;
+    peer_fin_seq_ = p.seq + p.payload;
+    ++stats_.fins_received;
+  }
+  // The FIN is consumed only in order: every stream byte before it must have
+  // been delivered, or the ACK covering it would lie about the data.
+  bool fin_just_consumed = false;
+  if (fin_received_ && !fin_consumed_ &&
+      rcv_buffer_.rcv_nxt() == peer_fin_seq_) {
+    fin_consumed_ = true;
+    fin_just_consumed = true;
+    Trace(TracePoint::kTcpFinRx, peer_fin_seq_);
+  }
+  // ACK first — AckValue() covers the consumed FIN — then advance the close
+  // machine: ConsumePeerFin may enter TIME-WAIT or close outright, and the
+  // ACK must not be lost to that transition.
   SendAck(result, p);
+  if (fin_just_consumed) {
+    ConsumePeerFin();
+  } else if (p.fin && fin_consumed_ && state_ == State::kTimeWait) {
+    // Retransmitted peer FIN: our final ACK was lost. The re-ACK went out
+    // above; restart the 2MSL clock (RFC 9293 §3.10.7.4).
+    EnterTimeWait();
+  }
 }
 
 void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
@@ -372,7 +701,7 @@ void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
   a.type = PacketType::kAck;
   a.flow = flow_;
   a.dst = peer_;
-  a.ack = rcv_buffer_.rcv_nxt();
+  a.ack = AckValue();
   a.size_bytes = config_.ack_bytes;
   const std::uint64_t used = rcv_buffer_.ooo_bytes();
   std::uint64_t wnd =
@@ -416,6 +745,25 @@ void TcpConnection::SendAck(const ReceiveBuffer::Result& result,
   host_->Send(std::move(a));
 }
 
+void TcpConnection::SendPureAck() {
+  // Bare re-ACK (retransmitted SYN-ACK or peer FIN): no SACK blocks, no
+  // window recomputation — just the cumulative ACK the peer is missing.
+  Packet a;
+  a.id = sim_.NextPacketId();
+  a.type = PacketType::kAck;
+  a.flow = flow_;
+  a.dst = peer_;
+  a.ack = AckValue();
+  a.size_bytes = config_.ack_bytes;
+  if (tdtcp_active_) a.ack_tdn = ActiveTdn();
+  a.pinned_path = config_.pin_path;
+  a.subflow = config_.subflow_id;
+  a.is_mptcp = config_.mptcp;
+  a.sent_time = sim_.now();
+  if (has_tap_) tap_(TapDirection::kTx, a);
+  host_->Send(std::move(a));
+}
+
 // ---------------------------------------------------------------------------
 // Sender path: ACK processing
 // ---------------------------------------------------------------------------
@@ -425,9 +773,12 @@ void TcpConnection::OnAckPacket(const Packet& p) {
   if (on_dss_ack_ && p.has_dss) on_dss_ack_(p.dss_ack, p.dss_rwnd);
   if (p.has_rwnd) {
     peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
-    if (peer_rwnd_ > 0 && persist_timer_ != kInvalidEventId) {
+    if (peer_rwnd_ > 0 && (persist_timer_ != kInvalidEventId ||
+                           persist_probing_)) {
       // The window reopened: leave persist mode. MaybeSend (below, on every
       // ACK path including the stale-ACK one) resumes normal transmission.
+      // persist_probing_ can outlive the timer (it lapses once the probe is
+      // outstanding and the RTO owns it), so check both.
       CancelPersist();
     }
   }
@@ -469,6 +820,9 @@ void TcpConnection::OnAckPacket(const Packet& p) {
     const bool acked_fresh_data = ProcessCumulativeAck(p, trigger_tdn);
     newly_acked_total = total_acked_before - tdns_.TotalPacketsOut();
     dupack_count_ = 0;
+    rto_retries_ = 0;      // forward progress: the peer is alive
+    persist_backoff_ = 0;  // an ACKed probe is an answered probe
+    persist_probing_ = false;
     // Karn's algorithm: an ACK that only covers retransmitted data is
     // ambiguous — it may acknowledge the original transmission, so it says
     // nothing about the current path delay. Only an ACK of never-
@@ -497,6 +851,12 @@ void TcpConnection::OnAckPacket(const Packet& p) {
 
   DetectLosses(trigger_tdn, newly_sacked);
   AdvanceStateMachines(p);
+
+  // An ACK covering our FIN moves the close machine; it may retire the
+  // connection entirely (LAST-ACK -> CLOSED), after which no timer may be
+  // re-armed and the checker has already run its post-close recount.
+  if (fin_sent_) MaybeAdvanceCloseStates();
+  if (state_ == State::kClosed) return;
 
   ArmRto();
   ArmTlp();
@@ -584,13 +944,14 @@ bool TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
     if (seg.sacked) st.sacked_out--;
     if (seg.lost) st.lost_out--;
     if (seg.retrans) st.retrans_out--;
-    if (!seg.syn) {
+    if (!seg.syn && !seg.fin) {
       st.bytes_acked += seg.len;
       acked_pkts_scratch_[seg.tdn]++;
       acked_bytes_scratch_[seg.tdn] += seg.len;
       ece_target_tdn_ = seg.tdn;
-      if (!seg.ever_retrans) acked_fresh_data = true;
     }
+    // An acked never-retransmitted FIN proves path liveness just like data.
+    if (!seg.syn && !seg.ever_retrans) acked_fresh_data = true;
     Trace(TracePoint::kTcpSackEdit,
           static_cast<std::uint64_t>(TraceSackEdit::kAcked), seg.seq, seg.len,
           seg.tdn);
@@ -972,7 +1333,7 @@ bool TcpConnection::IsCwndLimited() const {
 }
 
 void TcpConnection::MaybeSend() {
-  if (state_ != State::kEstablished) return;
+  if (!CanTransmit()) return;
 
   // §4.3 "any TDN": retransmissions go out first if any TDN is recovering,
   // regardless of which TDN originally carried the segment.
@@ -985,6 +1346,10 @@ void TcpConnection::MaybeSend() {
     if (PacingDefers()) return;
     SendNewSegment();
   }
+
+  // The FIN follows the last buffered byte; it ignores cwnd/rwnd (its one
+  // virtual byte never occupies the network).
+  MaybeSendFin();
 
   // Linux tcp_is_cwnd_limited bookkeeping: growth is only justified when
   // the window, not the application, was the limit.
@@ -1002,7 +1367,7 @@ void TcpConnection::MaybeSend() {
 }
 
 bool TcpConnection::CanSendNewSegment() const {
-  if (state_ != State::kEstablished) return false;
+  if (!CanTransmit() || fin_sent_) return false;
   if (!unlimited_data_ && pending_bytes_ == 0) return false;
   if (IsCwndLimited()) return false;
   const std::uint64_t wnd = std::min<std::uint64_t>(peer_rwnd_, config_.snd_buf_bytes);
@@ -1057,6 +1422,40 @@ void TcpConnection::SendNewSegment(std::uint32_t len_cap) {
   if (rto_timer_ == kInvalidEventId) ArmRto();
 }
 
+void TcpConnection::MaybeSendFin() {
+  if (!fin_pending_ || fin_sent_) return;
+  if (pending_bytes_ > 0) return;  // FIN is the last byte of the stream
+  if (state_ != State::kFinWait1 && state_ != State::kLastAck) return;
+  // Like the SYN, the FIN occupies one virtual sequence byte and rides the
+  // normal scoreboard — SACKed, RACK-marked, RTO-retransmitted like data. It
+  // is sent regardless of cwnd/rwnd (zero wire payload), so a zero-window
+  // stall can never wedge the close.
+  TxSegment seg;
+  seg.seq = snd_nxt_;
+  seg.len = 1;
+  seg.fin = true;
+  seg.tdn = ActiveTdn();
+  seg.first_sent = seg.last_sent = sim_.now();
+  if (tdn_pointer_pending_) {
+    tdn_change_.Advance(seg.seq, seg.tdn);
+    tdn_pointer_pending_ = false;
+  }
+  send_queue_.Append(seg);
+  TdnState& st = ActiveState();
+  st.packets_out++;
+  st.segments_sent++;
+  if (st.ca_state == CaState::kRecovery || st.ca_state == CaState::kCwr) {
+    st.prr_out++;
+  }
+  fin_seq_ = seg.seq;
+  fin_sent_ = true;
+  fin_pending_ = false;
+  snd_nxt_ += 1;
+  ++stats_.fins_sent;
+  TransmitSegment(send_queue_.segments().back(), /*is_retransmission=*/false);
+  if (rto_timer_ == kInvalidEventId) ArmRto();
+}
+
 bool TcpConnection::RetransmitOneLost() {
   for (auto& seg : send_queue_.segments()) {
     if (!seg.lost || seg.retrans) continue;
@@ -1105,8 +1504,9 @@ void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
   p.flow = flow_;
   p.dst = peer_;
   p.seq = seg.seq;
-  p.payload = seg.syn ? 0 : seg.len;
+  p.payload = (seg.syn || seg.fin) ? 0 : seg.len;
   p.syn = seg.syn;
+  p.fin = seg.fin;
   p.size_bytes = p.payload + config_.header_bytes;
   if (config_.ecn_enabled || ActiveState().cc->WantsEcn()) p.ecn = Ecn::kEct0;
   if (tdtcp_active_) p.data_tdn = seg.tdn;  // TD_DATA_ACK, D bit
@@ -1183,14 +1583,42 @@ void TcpConnection::OnRtoFire() {
   }
   tlp_in_flight_ = false;
 
-  // Handshake retransmission: resend the SYN / SYN-ACK itself.
+  // Handshake retransmission: resend the SYN / SYN-ACK itself — up to the
+  // cap, beyond which the peer is presumed dead. transmissions starts at 1,
+  // so the cap counts *re*transmissions.
   if (head.syn && state_ != State::kEstablished) {
+    const std::uint32_t cap = state_ == State::kSynSent
+                                  ? config_.max_syn_retries
+                                  : config_.max_synack_retries;
+    if (head.transmissions > cap) {
+      if (state_ == State::kSynSent) {
+        ToClosed(CloseReason::kConnectTimeout);
+      } else {
+        ResetToListen();
+      }
+      return;
+    }
     head.last_sent = sim_.now();
     head.transmissions++;
     head.ever_retrans = true;
     rto_backoff_ = std::min(rto_backoff_ + 1, 8u);
     ResendSynPacket();
     ArmRto();
+    return;
+  }
+
+  // Established-family give-up: consecutive RTOs without a single cumulative
+  // advance mean the peer (or its path) is gone. Abort with an RST on the
+  // off-chance the peer is half-alive. When what's timing out is a zero-
+  // window probe, the stall is a persist give-up: it gets the persist retry
+  // budget and is reported as kPersistTimeout.
+  ++rto_retries_;
+  const std::uint32_t retry_cap = persist_probing_
+                                      ? config_.max_persist_retries
+                                      : config_.max_rto_retries;
+  if (rto_retries_ > retry_cap) {
+    Abort(persist_probing_ ? CloseReason::kPersistTimeout
+                           : CloseReason::kRetryLimit);
     return;
   }
 
@@ -1257,7 +1685,7 @@ void TcpConnection::ArmTlp() {
 
 void TcpConnection::OnTlpFire() {
   if (send_queue_.Empty() || tlp_in_flight_) return;
-  if (state_ != State::kEstablished) return;
+  if (!CanTransmit()) return;
   Trace(TracePoint::kTcpTimerFire,
         static_cast<std::uint64_t>(TraceTimer::kTlp));
   ++stats_.tlp_probes;
@@ -1294,13 +1722,14 @@ void TcpConnection::OnTlpFire() {
 }
 
 void TcpConnection::ArmPersist() {
-  if (state_ != State::kEstablished) return;
+  if (state_ != State::kEstablished && state_ != State::kCloseWait) return;
   if (persist_timer_ != kInvalidEventId) return;
   // Exponential backoff from the active TDN's RTO, capped like the RTO
-  // itself (RFC 9293 recommends the same clamped doubling).
+  // itself (RFC 9293 recommends the same clamped doubling). Only the shift
+  // is capped: persist_backoff_ keeps counting toward the give-up limit.
   SimTime interval =
       tdns_.RtoFor(ActiveTdn(), tdtcp_active_ && config_.synthesized_rto) *
-      (std::int64_t{1} << persist_backoff_);
+      (std::int64_t{1} << std::min(persist_backoff_, 8u));
   interval = std::min(interval, config_.rtt.max_rto);
   persist_timer_ = sim_.Schedule(interval, [this] {
     persist_timer_ = kInvalidEventId;
@@ -1313,6 +1742,7 @@ void TcpConnection::ArmPersist() {
 
 void TcpConnection::CancelPersist() {
   persist_backoff_ = 0;
+  persist_probing_ = false;
   if (persist_timer_ == kInvalidEventId) return;
   sim_.Cancel(persist_timer_);
   persist_timer_ = kInvalidEventId;
@@ -1321,7 +1751,7 @@ void TcpConnection::CancelPersist() {
 }
 
 void TcpConnection::OnPersistFire() {
-  if (state_ != State::kEstablished) return;
+  if (state_ != State::kEstablished && state_ != State::kCloseWait) return;
   const bool have_data = unlimited_data_ || pending_bytes_ > 0;
   // Window reopened or data drained since arming: persist mode is over.
   if (!have_data || outstanding_bytes() > 0 || CanSendNewSegment()) {
@@ -1330,12 +1760,23 @@ void TcpConnection::OnPersistFire() {
   }
   Trace(TracePoint::kTcpTimerFire,
         static_cast<std::uint64_t>(TraceTimer::kPersist));
+  // Defense in depth: a peer that keeps the connection in persist mode past
+  // the probe budget is treated as dead. In practice a dead peer is caught
+  // on the RTO side (the probe below is real data, so its retransmissions
+  // run on the RTO timer and the give-up there reports kPersistTimeout while
+  // persist_probing_ is set); this branch only fires if probing somehow
+  // recurs without either an answer or an RTO exhaustion.
+  if (persist_backoff_ >= config_.max_persist_retries) {
+    Abort(CloseReason::kPersistTimeout);
+    return;
+  }
   // 1-byte window probe: real new data, so the peer's ACK both answers the
   // probe and carries the current window. It is retransmittable through the
   // normal machinery if lost.
   ++stats_.persist_probes;
+  persist_probing_ = true;
   SendNewSegment(/*len_cap=*/1);
-  persist_backoff_ = std::min(persist_backoff_ + 1, 8u);
+  ++persist_backoff_;
   ArmPersist();
 }
 
@@ -1357,6 +1798,11 @@ void TcpConnection::CancelTimers() {
     persist_timer_ = kInvalidEventId;
   }
   persist_backoff_ = 0;
+  persist_probing_ = false;
+  if (time_wait_timer_ != kInvalidEventId) {
+    sim_.Cancel(time_wait_timer_);
+    time_wait_timer_ = kInvalidEventId;
+  }
 }
 
 // ---------------------------------------------------------------------------

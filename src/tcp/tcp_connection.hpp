@@ -82,6 +82,27 @@ struct TcpConfig {
   // --- timers ------------------------------------------------------------------
   RttEstimator::Config rtt;
 
+  // --- lifecycle / bounded retries (RFC 9293 teardown + dead-peer aborts) ---
+  // Caps count retransmissions of the respective segment; exceeding one
+  // aborts the connection (or, for the SYN-ACK, returns the endpoint to
+  // kListen) with the matching CloseReason.
+  std::uint32_t max_syn_retries = 6;      // active open → kConnectTimeout
+  std::uint32_t max_synack_retries = 5;   // passive open → back to kListen
+  // Consecutive RTO fires from a synchronized state without forward progress
+  // (any cumulative-ACK advance resets the count) → kRetryLimit.
+  std::uint32_t max_rto_retries = 8;
+  // Consecutive unanswered transmissions of a zero-window probe before the
+  // stall is declared fatal (kPersistTimeout). The probe is real 1-byte data,
+  // so its retransmissions run on the RTO timer; this cap replaces
+  // max_rto_retries while the probe is what's outstanding.
+  std::uint32_t max_persist_retries = 10;
+  // 2MSL analogue. Real stacks wait minutes; the simulated fabric's MSL is a
+  // few RTTs, and churn workloads need TIME_WAIT to actually free state.
+  SimTime time_wait_duration = SimTime::Millis(1);
+  // Receiver convenience for request/response and churn apps: entering
+  // kCloseWait immediately answers the peer's FIN with our own (Close()).
+  bool close_on_peer_fin = false;
+
   // --- pacing -------------------------------------------------------------------
   // §5.2 suggests sender pacing to blunt the cwnd-sized burst a TDN switch
   // releases into the (possibly frozen) VOQ. When enabled, transmissions
@@ -131,12 +152,20 @@ struct TcpStats {
   std::uint64_t bytes_received = 0;        // receiver-side delivered to app
   std::uint64_t duplicate_segments = 0;    // receiver-side dup arrivals
   std::uint64_t persist_probes = 0;        // zero-window probes sent
+  std::uint64_t fins_sent = 0;             // FIN segments (first transmission)
+  std::uint64_t fins_received = 0;         // peer FINs consumed in order
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t rsts_received = 0;
+  std::uint64_t synack_give_ups = 0;       // SYN-ACK cap hit, back to kListen
 };
 
 class TcpConnection : public PacketSink {
  public:
+  // RFC 9293 state machine. Values are stable trace IDs (kTcpStateChange
+  // arguments appear in checked-in fixtures): append, never reorder.
   enum class State : std::uint8_t {
     kClosed, kListen, kSynSent, kSynReceived, kEstablished,
+    kFinWait1, kFinWait2, kClosing, kTimeWait, kCloseWait, kLastAck,
   };
 
   // Receiver callback: an in-order byte range was delivered to the app.
@@ -160,6 +189,21 @@ class TcpConnection : public PacketSink {
   // --- connection lifecycle --------------------------------------------------
   void Listen();
   void Connect();
+  // Graceful close: no more application data; a FIN rides the normal
+  // scoreboard/RTO machinery after everything buffered has been sent. Called
+  // before the handshake completes, the intent is remembered and the FIN
+  // follows the handshake (a lingering close, like a real socket close with
+  // unsent data). Idempotent.
+  void Close();
+  // Immediate teardown: sends RST (when a sequence-synchronized state makes
+  // one meaningful) and releases everything now.
+  void Abort(CloseReason reason = CloseReason::kUserAbort);
+  // Fired exactly once when the connection reaches kClosed with a definite
+  // reason. The callback must not destroy the connection synchronously (it
+  // runs inside packet/timer processing); defer reclamation with
+  // sim.Schedule(0, ...).
+  using ClosedFn = std::function<void(CloseReason)>;
+  void SetClosedCallback(ClosedFn fn) { on_closed_ = std::move(fn); }
 
   // --- application data -------------------------------------------------------
   // Unlimited source (long-lived flow, as in §5.1).
@@ -227,6 +271,8 @@ class TcpConnection : public PacketSink {
 
   // --- introspection -----------------------------------------------------------
   State state() const { return state_; }
+  CloseReason close_reason() const { return close_reason_; }
+  static const char* StateName(State s);
   bool tdtcp_active() const { return tdtcp_active_; }
   std::uint64_t snd_una() const { return snd_una_; }
   std::uint64_t snd_nxt() const { return snd_nxt_; }
@@ -264,6 +310,47 @@ class TcpConnection : public PacketSink {
   void OnSyn(const Packet& p);
   void OnSynAck(const Packet& p);
   void CompleteHandshake();
+  // Satellite: SYN-ACK retransmit cap — drop the half-open attempt and
+  // become a fresh listener again.
+  void ResetToListen();
+
+  // --- teardown ----------------------------------------------------------------
+  // Hard-error guard for API misuse (Listen/Connect off kClosed): dump like
+  // the invariant checker, then throw std::logic_error — release builds too.
+  [[noreturn]] void LifecycleError(const char* api) const;
+  bool InClosingFamily() const {
+    return state_ == State::kFinWait1 || state_ == State::kFinWait2 ||
+           state_ == State::kClosing || state_ == State::kTimeWait ||
+           state_ == State::kCloseWait || state_ == State::kLastAck;
+  }
+  // A FIN has been queued (fin_pending_) and all buffered data is on the
+  // wire: append the sequence-occupying FIN segment.
+  void MaybeSendFin();
+  // Peer FIN consumed in order at `fin_seq`: ACK it and advance the state
+  // machine (passive close / simultaneous close / TIME_WAIT entry).
+  void ConsumePeerFin();
+  // Our FIN was cumulatively acked: FIN-WAIT-1 → FIN-WAIT-2 / CLOSING →
+  // TIME_WAIT / LAST-ACK → CLOSED.
+  void MaybeAdvanceCloseStates();
+  void EnterTimeWait();
+  void OnTimeWaitFire();
+  void SendRst();
+  void OnRst(const Packet& p);
+  void SendPureAck();
+  bool CanTransmit() const {
+    return state_ == State::kEstablished || state_ == State::kFinWait1 ||
+           state_ == State::kCloseWait || state_ == State::kClosing ||
+           state_ == State::kLastAck;
+  }
+  // Terminal transition: retire per-TDN accounting for every scoreboard
+  // entry, cancel timers, deregister from the host, run the checker's kClose
+  // recount, and fire ClosedFn exactly once.
+  void ToClosed(CloseReason reason);
+  // Cumulative-ACK value to advertise: rcv_nxt plus one once the peer's FIN
+  // has been consumed (the FIN occupies a sequence byte).
+  std::uint64_t AckValue() const {
+    return rcv_buffer_.rcv_nxt() + (fin_consumed_ ? 1 : 0);
+  }
 
   // --- sending ------------------------------------------------------------------
   void MaybeSend();
@@ -388,6 +475,24 @@ class TcpConnection : public PacketSink {
   bool tlp_in_flight_ = false;
   EventId persist_timer_ = kInvalidEventId;
   std::uint32_t persist_backoff_ = 0;
+  // True while the outstanding data is an unanswered zero-window probe.
+  // Retransmissions of the probe ride the RTO timer, so the RTO give-up
+  // path consults this to report the abort as kPersistTimeout (and to cap
+  // it at max_persist_retries) instead of kRetryLimit.
+  bool persist_probing_ = false;
+  EventId time_wait_timer_ = kInvalidEventId;
+
+  // --- teardown state ------------------------------------------------------------
+  CloseReason close_reason_ = CloseReason::kNone;
+  bool fin_pending_ = false;    // Close() called; FIN not yet on the wire
+  bool fin_sent_ = false;       // our FIN occupies [fin_seq_, fin_seq_+1)
+  std::uint64_t fin_seq_ = 0;
+  bool fin_received_ = false;   // peer FIN seen (possibly out of order)
+  std::uint64_t peer_fin_seq_ = 0;
+  bool fin_consumed_ = false;   // peer FIN reached rcv_nxt: ACK covers it
+  bool endpoint_registered_ = false;  // still owns the host demux entry
+  bool tdn_listener_registered_ = false;
+  std::uint32_t rto_retries_ = 0;  // consecutive data RTOs without progress
 
   // --- pacing ---------------------------------------------------------------------
   EventId pace_timer_ = kInvalidEventId;
@@ -419,6 +524,10 @@ class TcpConnection : public PacketSink {
   std::function<void(std::uint64_t, std::uint64_t)> on_dss_ack_;
   std::function<void()> on_established_;
   std::function<void()> on_send_ready_;
+  ClosedFn on_closed_;
+  // MPTCP: DSS ranges stranded when an aborted subflow's scoreboard was
+  // released — the meta-connection reinjects them onto a survivor.
+  std::vector<DssRange> orphaned_dss_;
 
   TcpStats stats_;
 };

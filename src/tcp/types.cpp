@@ -13,4 +13,18 @@ const char* CaStateName(CaState s) {
   return "?";
 }
 
+const char* CloseReasonName(CloseReason r) {
+  switch (r) {
+    case CloseReason::kNone: return "None";
+    case CloseReason::kNormal: return "Normal";
+    case CloseReason::kPeerReset: return "PeerReset";
+    case CloseReason::kConnectTimeout: return "ConnectTimeout";
+    case CloseReason::kSynAckTimeout: return "SynAckTimeout";
+    case CloseReason::kRetryLimit: return "RetryLimit";
+    case CloseReason::kPersistTimeout: return "PersistTimeout";
+    case CloseReason::kUserAbort: return "UserAbort";
+  }
+  return "?";
+}
+
 }  // namespace tdtcp

@@ -2,6 +2,7 @@
 // ACK-processing event descriptors.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time.hpp"
@@ -19,6 +20,24 @@ enum class CaState : std::uint8_t {
 };
 
 const char* CaStateName(CaState s);
+
+// Why a connection reached kClosed. Every connection that leaves kClosed is
+// guaranteed to come back to it with exactly one of these, surfaced through
+// the ClosedFn completion callback (RFC 9293 teardown plus the bounded-retry
+// aborts a dead peer forces).
+enum class CloseReason : std::uint8_t {
+  kNone,            // still open (or never opened)
+  kNormal,          // orderly FIN handshake completed (either direction)
+  kPeerReset,       // RST received from the peer
+  kConnectTimeout,  // SYN retransmission cap exhausted (active open)
+  kSynAckTimeout,   // SYN-ACK cap exhausted (passive open fell back to LISTEN)
+  kRetryLimit,      // max_rto_retries consecutive RTOs without progress
+  kPersistTimeout,  // zero-window probes exhausted (peer dead while stalled)
+  kUserAbort,       // local Abort() call
+};
+
+const char* CloseReasonName(CloseReason r);
+inline constexpr std::size_t kNumCloseReasons = 8;
 
 // Events forwarded to congestion-control modules (subset of Linux
 // tcp_ca_event relevant to this system).

@@ -69,6 +69,11 @@ void TraceRecorder::NoteAppData(std::uint64_t bytes) {
   events_.push_back(ev);
 }
 
+void TraceRecorder::NoteClose() {
+  events_.push_back(
+      RecordedEvent{sim_.now().picos(), RecordedEvent::Kind::kClose});
+}
+
 RecordedConnection TraceRecorder::Finish(const TraceRing& ring) const {
   RecordedConnection rec;
   rec.flow = conn_.flow();
@@ -148,6 +153,9 @@ ReplayResult ReplayConnection(const RecordedConnection& rec) {
           break;
         case RecordedEvent::Kind::kNotify:
           conn.OnTdnChange(evp->tdn, evp->imminent);
+          break;
+        case RecordedEvent::Kind::kClose:
+          conn.Close();
           break;
       }
     });

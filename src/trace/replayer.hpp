@@ -48,6 +48,7 @@ class TraceRecorder {
   void NoteConnect();
   void NoteUnlimited();
   void NoteAppData(std::uint64_t bytes);
+  void NoteClose();
 
   // Snapshot: engine config + ingress events + the ring's records for this
   // connection's flow, hashed. Call after the simulation finished (the

@@ -148,6 +148,7 @@ std::string PacketToJson(const Packet& p) {
   if (p.has_rwnd != d.has_rwnd) w.Bool("has_rwnd", p.has_rwnd);
   if (p.syn != d.syn) w.Bool("syn", p.syn);
   if (p.fin != d.fin) w.Bool("fin", p.fin);
+  if (p.rst != d.rst) w.Bool("rst", p.rst);
   if (p.ece != d.ece) w.Bool("ece", p.ece);
   if (p.cwr != d.cwr) w.Bool("cwr", p.cwr);
   if (p.num_sack > 0) {
@@ -215,6 +216,7 @@ Packet PacketFromJson(const JsonValue& j) {
   p.has_rwnd = BoolOr(j, "has_rwnd", false);
   p.syn = BoolOr(j, "syn", false);
   p.fin = BoolOr(j, "fin", false);
+  p.rst = BoolOr(j, "rst", false);
   p.ece = BoolOr(j, "ece", false);
   p.cwr = BoolOr(j, "cwr", false);
   if (const JsonValue* sacks = j.Find("sack")) {
@@ -255,6 +257,7 @@ const char* EventKindName(RecordedEvent::Kind k) {
     case RecordedEvent::Kind::kAppData: return "appdata";
     case RecordedEvent::Kind::kPacket: return "packet";
     case RecordedEvent::Kind::kNotify: return "notify";
+    case RecordedEvent::Kind::kClose: return "close";
   }
   return "?";
 }
@@ -265,6 +268,7 @@ RecordedEvent::Kind EventKindFromName(const std::string& name) {
   if (name == "appdata") return RecordedEvent::Kind::kAppData;
   if (name == "packet") return RecordedEvent::Kind::kPacket;
   if (name == "notify") return RecordedEvent::Kind::kNotify;
+  if (name == "close") return RecordedEvent::Kind::kClose;
   throw std::runtime_error("tdtcp-trace: unknown event kind " + name);
 }
 
@@ -333,6 +337,12 @@ std::string ConfigToJson(const RecordedConnection& rec) {
   w.Int("initial_rto_ps", c.rtt.initial_rto.picos());
   w.Int("min_rto_ps", c.rtt.min_rto.picos());
   w.Int("max_rto_ps", c.rtt.max_rto.picos());
+  w.U64("max_syn_retries", c.max_syn_retries);
+  w.U64("max_synack_retries", c.max_synack_retries);
+  w.U64("max_rto_retries", c.max_rto_retries);
+  w.U64("max_persist_retries", c.max_persist_retries);
+  w.Int("time_wait_ps", c.time_wait_duration.picos());
+  w.Bool("close_on_peer_fin", c.close_on_peer_fin);
   w.Bool("pacing_enabled", c.pacing_enabled);
   w.Num("pacing_gain", c.pacing_gain);
   w.Str("cc", rec.cc_name);
@@ -385,6 +395,17 @@ void ConfigFromJson(const JsonValue& j, RecordedConnection& rec) {
       NumOr(j, "min_rto_ps", c.rtt.min_rto.picos())));
   c.rtt.max_rto = SimTime::Picos(static_cast<std::int64_t>(
       NumOr(j, "max_rto_ps", c.rtt.max_rto.picos())));
+  c.max_syn_retries = static_cast<std::uint32_t>(
+      NumOr(j, "max_syn_retries", c.max_syn_retries));
+  c.max_synack_retries = static_cast<std::uint32_t>(
+      NumOr(j, "max_synack_retries", c.max_synack_retries));
+  c.max_rto_retries = static_cast<std::uint32_t>(
+      NumOr(j, "max_rto_retries", c.max_rto_retries));
+  c.max_persist_retries = static_cast<std::uint32_t>(
+      NumOr(j, "max_persist_retries", c.max_persist_retries));
+  c.time_wait_duration = SimTime::Picos(static_cast<std::int64_t>(
+      NumOr(j, "time_wait_ps", c.time_wait_duration.picos())));
+  c.close_on_peer_fin = BoolOr(j, "close_on_peer_fin", c.close_on_peer_fin);
   c.pacing_enabled = BoolOr(j, "pacing_enabled", c.pacing_enabled);
   c.pacing_gain = NumOr(j, "pacing_gain", c.pacing_gain);
   c.peer_rack = static_cast<RackId>(NumOr(j, "peer_rack", c.peer_rack));

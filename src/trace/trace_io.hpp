@@ -33,6 +33,7 @@ struct RecordedEvent {
     kAppData,    // AddAppData(app_bytes)
     kPacket,     // HandlePacket(packet)
     kNotify,     // OnTdnChange(tdn, imminent)
+    kClose,      // TcpConnection::Close()
   };
   std::int64_t t_ps = 0;
   Kind kind = Kind::kConnect;

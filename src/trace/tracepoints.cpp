@@ -18,6 +18,12 @@ const char* TracePointName(TracePoint p) {
     case TracePoint::kHostNotifyStale: return "host_notify_stale";
     case TracePoint::kRdcnDayStart: return "rdcn_day_start";
     case TracePoint::kRdcnNightStart: return "rdcn_night_start";
+    case TracePoint::kTcpClose: return "tcp_close";
+    case TracePoint::kTcpClosed: return "tcp_closed";
+    case TracePoint::kTcpRstOut: return "tcp_rst_out";
+    case TracePoint::kTcpRstIn: return "tcp_rst_in";
+    case TracePoint::kTcpFinRx: return "tcp_fin_rx";
+    case TracePoint::kHostNicState: return "host_nic_state";
   }
   return "unknown";
 }
@@ -28,6 +34,7 @@ const char* TraceTimerName(TraceTimer t) {
     case TraceTimer::kTlp: return "tlp";
     case TraceTimer::kPace: return "pace";
     case TraceTimer::kPersist: return "persist";
+    case TraceTimer::kTimeWait: return "time_wait";
   }
   return "unknown";
 }

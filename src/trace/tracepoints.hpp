@@ -49,6 +49,14 @@ enum class TracePoint : std::uint32_t {
   // RDCN controller day/night schedule.
   kRdcnDayStart = 12,     // a0=tdn, a1=day index, a2=is circuit day
   kRdcnNightStart = 13,   // a0=day index, a1=was circuit day
+  // Connection lifecycle (teardown / abort paths).
+  kTcpClose = 14,         // local Close(): a0=state when called
+  kTcpClosed = 15,        // reached kClosed: a0=CloseReason
+  kTcpRstOut = 16,        // RST sent: a0=state when generated
+  kTcpRstIn = 17,         // RST received: a0=state when it landed
+  kTcpFinRx = 18,         // peer FIN consumed in order: a0=fin seq
+  // Host NIC state (FaultKind::kHostDown windows).
+  kHostNicState = 19,     // a0=enabled (0/1), a3=host NodeId
 };
 
 // Timer identity for kTcpTimer{Arm,Cancel,Fire}.
@@ -57,6 +65,7 @@ enum class TraceTimer : std::uint64_t {
   kTlp = 1,
   kPace = 2,
   kPersist = 3,
+  kTimeWait = 4,
 };
 
 // Scoreboard edit kinds for kTcpSackEdit.

@@ -7,9 +7,13 @@
 // executable (each add_tdtcp_test target is a single .cpp, which makes
 // that automatic).
 //
-// The counters are plain integers: these test binaries are single-threaded.
+// The counters are relaxed atomics: some tests in a binary that includes
+// this header run experiments on a ParallelFor pool, and every thread's
+// allocations funnel through these counters. CountAllocations itself is
+// only meaningful around a single-threaded block.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -17,8 +21,8 @@
 
 namespace tdtcp::test {
 
-inline std::uint64_t g_news = 0;
-inline std::uint64_t g_deletes = 0;
+inline std::atomic<std::uint64_t> g_news{0};
+inline std::atomic<std::uint64_t> g_deletes{0};
 
 struct AllocDelta {
   std::uint64_t news;
@@ -27,10 +31,11 @@ struct AllocDelta {
 
 template <typename F>
 AllocDelta CountAllocations(F&& f) {
-  const std::uint64_t n0 = g_news;
-  const std::uint64_t d0 = g_deletes;
+  const std::uint64_t n0 = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t d0 = g_deletes.load(std::memory_order_relaxed);
   f();
-  return AllocDelta{g_news - n0, g_deletes - d0};
+  return AllocDelta{g_news.load(std::memory_order_relaxed) - n0,
+                    g_deletes.load(std::memory_order_relaxed) - d0};
 }
 
 }  // namespace tdtcp::test
@@ -38,12 +43,12 @@ AllocDelta CountAllocations(F&& f) {
 // All forms funnel through malloc/free so the aligned overloads used by the
 // event core's heap buffer are counted too.
 void* operator new(std::size_t n) {
-  ++tdtcp::test::g_news;
+  tdtcp::test::g_news.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new(std::size_t n, std::align_val_t al) {
-  ++tdtcp::test::g_news;
+  tdtcp::test::g_news.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
                                    (n + static_cast<std::size_t>(al) - 1) &
                                        ~(static_cast<std::size_t>(al) - 1))) {
@@ -52,18 +57,18 @@ void* operator new(std::size_t n, std::align_val_t al) {
   throw std::bad_alloc();
 }
 void operator delete(void* p) noexcept {
-  ++tdtcp::test::g_deletes;
+  tdtcp::test::g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 void operator delete(void* p, std::size_t) noexcept {
-  ++tdtcp::test::g_deletes;
+  tdtcp::test::g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 void operator delete(void* p, std::align_val_t) noexcept {
-  ++tdtcp::test::g_deletes;
+  tdtcp::test::g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  ++tdtcp::test::g_deletes;
+  tdtcp::test::g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
