@@ -84,12 +84,14 @@ CloseReason MptcpConnection::close_reason() const {
 
 TcpConnection* MptcpConnection::FindSurvivor(std::uint32_t excluding) {
   // Prefer an established survivor; fall back to one still handshaking or
-  // draining (its queue is preserved either way).
+  // draining (its queue is preserved either way). A subflow whose FIN is
+  // already on the wire has no stream bytes left — AddMappedData refuses —
+  // so it cannot carry a reinjection.
   TcpConnection* fallback = nullptr;
   for (std::uint32_t i = 0; i < subflows_.size(); ++i) {
     if (i == excluding) continue;
     TcpConnection* s = subflows_[i].get();
-    if (s->state() == TcpConnection::State::kClosed) continue;
+    if (s->state() == TcpConnection::State::kClosed || s->fin_sent()) continue;
     if (s->state() == TcpConnection::State::kEstablished) return s;
     if (fallback == nullptr) fallback = s;
   }
@@ -98,15 +100,20 @@ TcpConnection* MptcpConnection::FindSurvivor(std::uint32_t excluding) {
 
 void MptcpConnection::ReinjectOrphans(std::uint32_t dead_idx) {
   TcpConnection* target = FindSurvivor(dead_idx);
-  if (target == nullptr) return;
   // UnackedDssRanges() on a closed subflow returns the snapshot its abort
   // took before releasing the scoreboard (scheduled-but-unsent included).
+  // Only ranges the survivor actually accepted count as rescued; the rest
+  // are recorded as lost so the stats never claim a rescue that no-op'd.
   for (const auto& r : subflows_[dead_idx]->UnackedDssRanges()) {
     if (r.dss_seq + r.len <= dss_una_) continue;  // already meta-acked
-    target->AddMappedData(r.len, r.dss_seq);
-    ++mp_stats_.reinjections;
-    ++mp_stats_.abort_reinjections;
-    mp_stats_.reinjected_bytes += r.len;
+    if (target != nullptr && target->AddMappedData(r.len, r.dss_seq)) {
+      ++mp_stats_.reinjections;
+      ++mp_stats_.abort_reinjections;
+      mp_stats_.reinjected_bytes += r.len;
+    } else {
+      ++mp_stats_.unrescued_ranges;
+      mp_stats_.unrescued_bytes += r.len;
+    }
   }
 }
 
@@ -243,7 +250,7 @@ void MptcpConnection::MaybeReinject() {
   std::uint32_t budget = config_.reinject_burst_segments;
   std::uint64_t dss = best_dss;
   while (budget-- > 0 && dss < dss_next_) {
-    active->AddMappedData(best_len, dss);
+    if (!active->AddMappedData(best_len, dss)) break;
     ++mp_stats_.reinjections;
     mp_stats_.reinjected_bytes += best_len;
     dss += best_len;

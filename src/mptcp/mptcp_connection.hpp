@@ -59,6 +59,10 @@ class MptcpConnection : public PacketSink {
     std::uint64_t zero_window_acks = 0; // flow-control stall evidence
     std::uint64_t subflow_aborts = 0;   // subflows closed abnormally
     std::uint64_t abort_reinjections = 0;  // DSS ranges rescued from them
+    // Stranded DSS ranges no survivor could accept (none left, or the only
+    // candidates had their FIN on the wire): data the meta lost, not rescued.
+    std::uint64_t unrescued_ranges = 0;
+    std::uint64_t unrescued_bytes = 0;
   };
 
   MptcpConnection(Simulator& sim, Host* host, FlowId flow, NodeId peer,

@@ -231,10 +231,11 @@ void TcpConnection::CompleteHandshake() {
 }
 
 void TcpConnection::ResetToListen() {
-  // SYN-ACK retransmission cap: drop the half-open attempt and become a
-  // fresh listener (RFC 9293's "return to LISTEN"). Everything the attempt
-  // put on the scoreboard — the SYN-ACK's virtual byte — is retired with
-  // full per-TDN accounting so the invariant recount stays exact.
+  // Drop the half-open attempt and become a fresh listener (RFC 9293's
+  // "return to LISTEN": SYN-ACK retransmission cap or a peer RST in
+  // SYN-RECEIVED — the caller accounts which). Everything the attempt put
+  // on the scoreboard — the SYN-ACK's virtual byte — is retired with full
+  // per-TDN accounting so the invariant recount stays exact.
   for (const auto& seg : send_queue_.segments()) {
     TdnState& st = tdns_.state(seg.tdn);
     st.packets_out--;
@@ -249,7 +250,24 @@ void TcpConnection::ResetToListen() {
   rto_backoff_ = 0;
   rto_retries_ = 0;
   CancelTimers();
-  ++stats_.synack_give_ups;
+  // A Close() issued while half-open must not be stranded: a "fresh
+  // listener" would never fire ClosedFn for it, and the intent would leak
+  // into the next accepted connection (instant FIN-WAIT-1 on handshake
+  // completion). Behave like Close() on a listener instead.
+  if (fin_pending_) {
+    fin_pending_ = false;
+    ToClosed(CloseReason::kNormal);
+    return;
+  }
+  // Teardown state from the dropped attempt must not survive into the next
+  // accepted connection: a stale fin_received_/fin_consumed_ would skew
+  // AckValue() and the close machine from the first segment on.
+  fin_sent_ = false;
+  fin_seq_ = 0;
+  fin_received_ = false;
+  fin_consumed_ = false;
+  peer_fin_seq_ = 0;
+  rcv_buffer_ = ReceiveBuffer();
   SetState(State::kListen);
 }
 
@@ -460,13 +478,16 @@ void TcpConnection::AddAppData(std::uint64_t bytes) {
   MaybeSend();
 }
 
-void TcpConnection::AddMappedData(std::uint32_t len, std::uint64_t dss_seq) {
+bool TcpConnection::AddMappedData(std::uint32_t len, std::uint64_t dss_seq) {
   // Mapped data is accepted until the FIN is actually on the wire: a meta
-  // reinjection may still ride ahead of a pending (not yet sent) FIN.
-  if (len == 0 || fin_sent_ || state_ == State::kClosed) return;
+  // reinjection may still ride ahead of a pending (not yet sent) FIN. The
+  // caller must check the result — a refused range was NOT queued, and a
+  // reinjection that ignores the refusal silently drops that DSS range.
+  if (len == 0 || fin_sent_ || state_ == State::kClosed) return false;
   pending_.push_back(PendingChunk{len, true, dss_seq});
   pending_bytes_ += len;
   MaybeSend();
+  return true;
 }
 
 std::uint64_t TcpConnection::unsent_buffered_bytes() const {
@@ -884,7 +905,7 @@ std::uint32_t TcpConnection::ProcessSackBlocks(const Packet& p, TdnId trigger_td
     }
   }
 
-  return send_queue_.ApplySack(blocks, [this](TxSegment& seg) {
+  return send_queue_.ApplySack(blocks, [this, &p](TxSegment& seg) {
     TdnState& st = tdns_.state(seg.tdn);
     st.sacked_out++;
     Trace(TracePoint::kTcpSackEdit,
@@ -899,6 +920,23 @@ std::uint32_t TcpConnection::ProcessSackBlocks(const Packet& p, TdnId trigger_td
     if (seg.last_sent > rack_mstamp_) {
       rack_mstamp_ = seg.last_sent;
       rack_mstamp_tdn_ = seg.tdn;
+    }
+    // SACK RTT sampling (Linux sack_rtt): a newly SACKed, never-retransmitted
+    // segment is as valid a sample as a cumulatively acked one, under the
+    // same Karn + TDN-matching rules. Without it a sender whose only
+    // delivered segments are SACKed keeps RTO pinned at initial_rto, whose
+    // exponential backoff can phase-lock with the rotation week so every
+    // retransmission lands in the same congested schedule segment.
+    if (seg.ever_retrans) return;
+    const SimTime rtt = sim_.now() - seg.last_sent;
+    if (tdtcp_active_ && config_.per_tdn_rtt) {
+      if (p.ack_tdn != kNoTdn && p.ack_tdn == seg.tdn) {
+        st.rtt.AddSample(rtt);
+      } else {
+        ++stats_.rtt_samples_dropped;
+      }
+    } else {
+      st.rtt.AddSample(rtt);
     }
   });
 }
@@ -1052,9 +1090,16 @@ void TcpConnection::DetectLosses(TdnId trigger_tdn, std::uint32_t newly_sacked) 
     if (tdtcp_active_ && config_.relaxed_reordering &&
         SuspectCrossTdnReordering(seg, trigger_tdn, tdn_change_)) {
       const RttEstimator& slowest = tdns_.SlowestRtt(seg.tdn);
-      const SimTime patience = slowest.has_sample()
-                                   ? slowest.srtt() + slowest.srtt() / 2
-                                   : config_.rtt.initial_rto;
+      SimTime patience = slowest.has_sample()
+                             ? slowest.srtt() + slowest.srtt() / 2
+                             : config_.rtt.initial_rto;
+      // "Pessimistic" requires the hole's own path to have been measured: a
+      // fast TDN's samples bound nothing about an unsampled slow path, so
+      // until the hole's TDN has an RTT of its own, wait at least the
+      // conservative pre-handshake RTO.
+      if (!tdns_.state(seg.tdn).rtt.has_sample()) {
+        patience = std::max(patience, config_.rtt.initial_rto);
+      }
       if (sim_.now() - seg.last_sent <= patience) {
         ++stats_.cross_tdn_exemptions;
         continue;
@@ -1425,7 +1470,14 @@ void TcpConnection::SendNewSegment(std::uint32_t len_cap) {
 void TcpConnection::MaybeSendFin() {
   if (!fin_pending_ || fin_sent_) return;
   if (pending_bytes_ > 0) return;  // FIN is the last byte of the stream
-  if (state_ != State::kFinWait1 && state_ != State::kLastAck) return;
+  // kClosing belongs here too: a simultaneous close can move FIN-WAIT-1 to
+  // CLOSING while queued data still delays our FIN. The ACK of a FIN sent
+  // from CLOSING advances to TIME-WAIT as usual (MaybeAdvanceCloseStates);
+  // without this the FIN would never go out and both ends would hang.
+  if (state_ != State::kFinWait1 && state_ != State::kLastAck &&
+      state_ != State::kClosing) {
+    return;
+  }
   // Like the SYN, the FIN occupies one virtual sequence byte and rides the
   // normal scoreboard — SACKed, RACK-marked, RTO-retransmitted like data. It
   // is sent regardless of cwnd/rwnd (zero wire payload), so a zero-window
@@ -1506,6 +1558,11 @@ void TcpConnection::TransmitSegment(TxSegment& seg, bool is_retransmission) {
   p.seq = seg.seq;
   p.payload = (seg.syn || seg.fin) ? 0 : seg.len;
   p.syn = seg.syn;
+  // A SYN segment retransmitted from any state past kSynSent is our SYN-ACK
+  // (the active opener's SYN is retired before it leaves kSynSent): carry the
+  // ACK flag so an established peer recognizes it and re-ACKs, retiring the
+  // virtual byte an implicit handshake completion left on the scoreboard.
+  if (seg.syn && state_ != State::kSynSent) p.ack = 1;
   p.fin = seg.fin;
   p.size_bytes = p.payload + config_.header_bytes;
   if (config_.ecn_enabled || ActiveState().cc->WantsEcn()) p.ecn = Ecn::kEct0;
@@ -1585,8 +1642,14 @@ void TcpConnection::OnRtoFire() {
 
   // Handshake retransmission: resend the SYN / SYN-ACK itself — up to the
   // cap, beyond which the peer is presumed dead. transmissions starts at 1,
-  // so the cap counts *re*transmissions.
-  if (head.syn && state_ != State::kEstablished) {
+  // so the cap counts *re*transmissions. Only the two genuine handshake
+  // states qualify: an implicit handshake completion (first data segment)
+  // leaves the SYN-ACK byte unacked on the scoreboard, and an RTO on it
+  // from kEstablished or a closing state must use the normal data path —
+  // ResetToListen on a connection that has consumed stream data would
+  // rewind rcv_nxt and strand the teardown.
+  if (head.syn &&
+      (state_ == State::kSynSent || state_ == State::kSynReceived)) {
     const std::uint32_t cap = state_ == State::kSynSent
                                   ? config_.max_syn_retries
                                   : config_.max_synack_retries;
@@ -1594,6 +1657,7 @@ void TcpConnection::OnRtoFire() {
       if (state_ == State::kSynSent) {
         ToClosed(CloseReason::kConnectTimeout);
       } else {
+        ++stats_.synack_give_ups;
         ResetToListen();
       }
       return;

@@ -211,7 +211,9 @@ class TcpConnection : public PacketSink {
   // Finite write of plain stream bytes.
   void AddAppData(std::uint64_t bytes);
   // MPTCP: append `len` bytes mapped at data-level sequence `dss_seq`.
-  void AddMappedData(std::uint32_t len, std::uint64_t dss_seq);
+  // Returns false — and queues nothing — once the FIN is on the wire or the
+  // connection is closed; reinjection callers must route the range elsewhere.
+  bool AddMappedData(std::uint32_t len, std::uint64_t dss_seq);
 
   // --- TDN control -------------------------------------------------------------
   // Host notification entry point (wired via Host::AddTdnListener).
@@ -288,6 +290,9 @@ class TcpConnection : public PacketSink {
   FlowId flow() const { return flow_; }
   std::uint32_t rto_backoff() const { return rto_backoff_; }
   bool persist_timer_armed() const { return persist_timer_ != kInvalidEventId; }
+  // Our FIN is on the wire: no further stream bytes (AddMappedData refuses),
+  // so MPTCP failover must not pick this subflow as a reinjection target.
+  bool fin_sent() const { return fin_sent_; }
 
   // Unacked data-level (DSS) ranges, lowest first — MPTCP reinjection scans
   // these to remap stranded data onto the active subflow.

@@ -30,7 +30,10 @@ enum class CloseReason : std::uint8_t {
   kNormal,          // orderly FIN handshake completed (either direction)
   kPeerReset,       // RST received from the peer
   kConnectTimeout,  // SYN retransmission cap exhausted (active open)
-  kSynAckTimeout,   // SYN-ACK cap exhausted (passive open fell back to LISTEN)
+  kSynAckTimeout,   // reserved: the SYN-ACK cap returns the listener to
+                    // kListen (stats.synack_give_ups counts it) without ever
+                    // reaching kClosed, so this value is never assigned today
+
   kRetryLimit,      // max_rto_retries consecutive RTOs without progress
   kPersistTimeout,  // zero-window probes exhausted (peer dead while stalled)
   kUserAbort,       // local Abort() call

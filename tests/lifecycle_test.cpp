@@ -161,6 +161,32 @@ TEST(Lifecycle, SimultaneousCloseTraversesClosing) {
   EXPECT_EQ(f.rx.close_reason(), CloseReason::kNormal);
 }
 
+TEST(Lifecycle, SimultaneousCloseWithQueuedDataStillSendsFin) {
+  // Regression: the peer's FIN arrives while our own FIN is still pending
+  // behind cwnd-limited data (FIN-WAIT-1 → CLOSING with fin unsent). The FIN
+  // must still go out from CLOSING once the data drains, or both ends hang.
+  ClientFixture f;
+  f.conn.AddAppData(20000);  // initial_cwnd 10 x mss 1000: half stays queued
+  f.harness.Settle();
+  f.conn.Close();
+  f.harness.Settle();
+  ASSERT_EQ(f.conn.state(), TcpConnection::State::kFinWait1);
+  ASSERT_EQ(f.conn.stats().fins_sent, 0u);  // 10000 bytes still buffered
+  f.conn.HandlePacket(MakeFin(1, 1));  // simultaneous close
+  ASSERT_EQ(f.conn.state(), TcpConnection::State::kClosing);
+  // Acks drain the stream; the FIN (seq 20001) follows the last byte.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 10001));
+  f.harness.Settle();
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 20001));
+  f.harness.Settle();
+  EXPECT_EQ(f.conn.stats().fins_sent, 1u);
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 20002));  // FIN acked
+  EXPECT_EQ(f.conn.state(), TcpConnection::State::kTimeWait);
+  f.sim.RunUntil(f.sim.now() + f.conn.config().time_wait_duration * 2);
+  EXPECT_EQ(f.conn.state(), TcpConnection::State::kClosed);
+  EXPECT_EQ(f.observed_reason, CloseReason::kNormal);
+}
+
 TEST(Lifecycle, RetransmittedPeerFinRestartsTimeWait) {
   ClientFixture f;
   f.conn.Close();
@@ -207,10 +233,32 @@ TEST(Lifecycle, RstInSynReceivedReturnsToListen) {
   ASSERT_EQ(server.state(), TcpConnection::State::kSynReceived);
   server.HandlePacket(MakeRst(1));
   EXPECT_EQ(server.state(), TcpConnection::State::kListen);
+  // A peer reset is not a SYN-ACK retransmit give-up.
+  EXPECT_EQ(server.stats().synack_give_ups, 0u);
   // The listener is reusable: a fresh handshake succeeds.
   server.HandlePacket(MakeSyn(1));
   server.HandlePacket(LoopbackHarness::Ack(1, 1));
   EXPECT_EQ(server.state(), TcpConnection::State::kEstablished);
+}
+
+TEST(Lifecycle, RstInSynReceivedAfterCloseHonorsCloseIntent) {
+  // Close() while half-open, then the peer resets: returning to a "fresh
+  // listener" would strand the close intent (ClosedFn would never fire) or
+  // leak fin_pending_ into the next accepted connection. The endpoint closes
+  // like a listener Close() instead.
+  Simulator sim;
+  LoopbackHarness h(sim);
+  TcpConnection server(sim, &h.host, 1, 99, BaseConfig());
+  CloseReason reason = CloseReason::kNone;
+  server.SetClosedCallback([&](CloseReason r) { reason = r; });
+  server.Listen();
+  server.HandlePacket(MakeSyn(1));
+  ASSERT_EQ(server.state(), TcpConnection::State::kSynReceived);
+  server.Close();  // lingering close intent
+  server.HandlePacket(MakeRst(1));
+  EXPECT_EQ(server.state(), TcpConnection::State::kClosed);
+  EXPECT_EQ(reason, CloseReason::kNormal);
+  EXPECT_EQ(h.host.num_endpoints(), 0u);
 }
 
 TEST(Lifecycle, SegmentToClosedEndpointDrawsRst) {
@@ -294,6 +342,11 @@ TEST(Lifecycle, SynAckRetryCapFallsBackToListen) {
   EXPECT_EQ(server.state(), TcpConnection::State::kListen);
   EXPECT_EQ(server.stats().synack_give_ups, 1u);
   EXPECT_EQ(server.close_reason(), CloseReason::kNone);  // still usable
+  // The fallback left a genuinely fresh listener: the next handshake
+  // completes and lands in kEstablished, not some leaked teardown state.
+  server.HandlePacket(MakeSyn(1));
+  server.HandlePacket(LoopbackHarness::Ack(1, 1));
+  EXPECT_EQ(server.state(), TcpConnection::State::kEstablished);
 }
 
 TEST(Lifecycle, RtoRetryCapAbortsEstablished) {
@@ -485,6 +538,40 @@ TEST(MptcpLifecycle, AbortedSubflowReinjectsOrphansOntoSurvivor) {
   // First abnormal subflow reason wins on each side.
   EXPECT_EQ(f.sender->close_reason(), CloseReason::kUserAbort);
   EXPECT_EQ(f.receiver->close_reason(), CloseReason::kPeerReset);
+}
+
+TEST(MptcpLifecycle, AddMappedDataRefusedOnceFinIsOnTheWire) {
+  // The reinjection contract: a subflow whose FIN occupies the last stream
+  // byte has no sequence space left, so AddMappedData must refuse (and say
+  // so) rather than silently queueing nothing.
+  ClientFixture f;
+  EXPECT_TRUE(f.conn.AddMappedData(100, 1));
+  f.harness.Settle();
+  f.conn.Close();  // no buffered data left: FIN goes out immediately
+  f.harness.Settle();
+  ASSERT_EQ(f.conn.stats().fins_sent, 1u);
+  EXPECT_FALSE(f.conn.AddMappedData(100, 101));
+  EXPECT_EQ(f.conn.unsent_buffered_bytes(), 0u);
+}
+
+TEST(MptcpLifecycle, OrphansWithNoSurvivorCountAsUnrescuedNotReinjected) {
+  // Regression: the abort-reinjection stats must not claim rescues that
+  // never landed. Kill the active subflow (rescue onto the survivor), then
+  // kill the survivor too — its stranded DSS ranges have nowhere to go and
+  // must be reported as unrescued, not as reinjections.
+  MptcpLifecycleFixture f;
+  f.sim.RunUntil(SimTime::Micros(1300));  // optical day: subflow 1 active
+  ASSERT_EQ(f.sender->active_subflow(), 1u);
+  f.sender->subflow(1)->Abort();
+  ASSERT_GT(f.sender->stats().abort_reinjections, 0u);
+  EXPECT_EQ(f.sender->stats().unrescued_ranges, 0u);  // subflow 0 took them
+  const std::uint64_t rescued = f.sender->stats().reinjections;
+  f.sender->subflow(0)->Abort();  // last leg down: nothing left to rescue to
+  EXPECT_GT(f.sender->stats().unrescued_ranges, 0u);
+  EXPECT_GT(f.sender->stats().unrescued_bytes, 0u);
+  EXPECT_EQ(f.sender->stats().reinjections, rescued);  // no phantom rescues
+  EXPECT_TRUE(f.sender->closed());
+  EXPECT_EQ(f.sender->close_reason(), CloseReason::kUserAbort);
 }
 
 // ---------------------------------------------------------------------------

@@ -338,6 +338,39 @@ TEST(Recovery, RetransmissionNotRemarkedWhileInFlight) {
   EXPECT_EQ(f.conn.stats().retransmissions, rtx_after_first);
 }
 
+TEST(Rtt, SackedSegmentFeedsEstimator) {
+  // Linux sack_rtt: a newly SACKed, never-retransmitted segment is a valid
+  // RTT sample even when the cumulative ACK does not move. Without it a
+  // sender whose in-order head is lost but whose later segments are SACKed
+  // keeps RTO at initial_rto with no feedback from the live path.
+  ClientFixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.TakeData();
+  const SimTime before = f.conn.tdns().active().rtt.srtt();
+  // The segment sat in flight for 400us before the SACK-only dupACK.
+  f.sim.RunUntil(f.sim.now() + SimTime::Micros(400));
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 1, {{1001, 2001}}));
+  EXPECT_GT(f.conn.tdns().active().rtt.srtt(), before);
+}
+
+TEST(Rtt, SackSampleRespectsKarn) {
+  ClientFixture f;
+  f.conn.SetUnlimitedData(true);
+  f.harness.Settle();
+  f.TakeData();
+  // Fast-retransmit the head, then let plenty of time pass.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 1, {{1001, 5001}}));
+  f.harness.Settle();
+  ASSERT_GE(f.conn.stats().retransmissions, 1u);
+  const SimTime before = f.conn.tdns().active().rtt.srtt();
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(5));
+  // A SACK finally covering the retransmitted head is ambiguous (original
+  // or retransmission?): Karn says no sample.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 1, {{1, 1001}}));
+  EXPECT_EQ(f.conn.tdns().active().rtt.srtt(), before);
+}
+
 TEST(Undo, DsackRestoresWindowAfterSpuriousRecovery) {
   ClientFixture f;
   f.conn.SetUnlimitedData(true);
