@@ -24,8 +24,10 @@ struct FctStats {
 };
 
 FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
-                           std::uint64_t flow_bytes, int flows_total) {
+                           std::uint64_t flow_bytes, int flows_total,
+                           const BenchArgs& args) {
   ExperimentConfig cfg = PaperConfig(v);
+  ApplyQdisc(cfg, args);
   Simulator sim;
   Random rng(cfg.seed);
   Topology topo(sim, rng, cfg.topology);
@@ -145,7 +147,7 @@ int main(int argc, char** argv) {
   std::vector<FctStats> stats(setups.size());
   ParallelFor(args.jobs, setups.size(), [&](std::size_t i) {
     stats[i] = MeasureShortFlows(setups[i].variant, setups[i].iw, kFlowBytes,
-                                 flows);
+                                 flows, args);
   });
   for (std::size_t i = 0; i < setups.size(); ++i) {
     Report(setups[i].name, stats[i], flows);

@@ -5,18 +5,20 @@
 //
 // Every bench accepts the shared flags
 //     ./bench_xxx [duration_ms] [--duration-ms=D] [--jobs=N] [--seeds=K]
-//                 [--out=path]
+//                 [--qdisc=NAME] [--out=path]
 // --jobs=0 (the default) uses one worker per hardware thread; results are
 // bit-identical at any job count. --seeds=K averages K deterministic seeds
-// per configuration and reports mean +/- 95% CI. Longer durations average
-// more optical weeks per seed (the paper averages thousands). --out=path
-// writes path.json (schema tdtcp-sweep/1) and path.csv next to the figure
-// CSVs.
+// per configuration and reports mean +/- 95% CI. --qdisc selects the VOQ
+// queue discipline (droptail | codel | delaymark | sharedpool; empty keeps
+// the config's default). Longer durations average more optical weeks per
+// seed (the paper averages thousands). --out=path writes path.json (schema
+// tdtcp-sweep/1) and path.csv next to the figure CSVs.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@ struct BenchArgs {
   int duration_ms = 0;
   int jobs = 0;       // 0 = hardware concurrency
   int seeds = 1;      // seeds 1..K per configuration point
+  std::string qdisc;  // VOQ discipline name ("" = config default)
   std::string out;    // base path for sweep JSON/CSV ("" = don't write)
 
   std::vector<std::uint64_t> SeedList() const {
@@ -51,6 +54,17 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
       args.jobs = std::atoi(a + 7);
     } else if (std::strncmp(a, "--seeds=", 8) == 0) {
       args.seeds = std::max(1, std::atoi(a + 8));
+    } else if (std::strncmp(a, "--qdisc=", 8) == 0) {
+      args.qdisc = a + 8;
+      try {
+        (void)QdiscKindFromName(args.qdisc);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "%s: unknown --qdisc '%s' (expected droptail | codel | "
+                     "delaymark | sharedpool)\n",
+                     argv[0], args.qdisc.c_str());
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--out=", 6) == 0) {
       args.out = a + 6;
     } else if (a[0] != '-' && std::atoi(a) > 0) {
@@ -58,13 +72,19 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [duration_ms] [--duration-ms=D] [--jobs=N] "
-                   "[--seeds=K] [--out=path]\n",
+                   "[--seeds=K] [--qdisc=NAME] [--out=path]\n",
                    argv[0]);
       std::exit(2);
     }
   }
   if (args.duration_ms <= 0) args.duration_ms = default_ms;
   return args;
+}
+
+// Applies --qdisc (when given) onto a config: one line in every bench's
+// setup path makes the discipline a command-line axis.
+inline void ApplyQdisc(ExperimentConfig& cfg, const BenchArgs& args) {
+  if (!args.qdisc.empty()) cfg.WithQdisc(QdiscKindFromName(args.qdisc));
 }
 
 struct VariantRun {
@@ -103,6 +123,7 @@ inline std::vector<VariantRun> RunVariants(const std::vector<Variant>& variants,
                                            const BenchArgs& args) {
   SweepSpec spec;
   spec.base = base;
+  ApplyQdisc(spec.base, args);
   spec.variants = variants;
   spec.seeds = args.SeedList();
   spec.jobs = args.jobs;

@@ -1,5 +1,6 @@
 #include "app/experiment.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "fault/fault_injector.hpp"
@@ -21,6 +22,16 @@ ExperimentConfig& ExperimentConfig::WithVariant(Variant v) {
   topology.voq.ecn_threshold_packets =
       v == Variant::kDctcp ? 12 : std::numeric_limits<std::uint32_t>::max();
   dynamic_voq = (v == Variant::kRetcpDyn);
+  return *this;
+}
+
+ExperimentConfig& ExperimentConfig::WithQdisc(QdiscKind kind) {
+  topology.voq.kind = kind;
+  if (kind == QdiscKind::kSharedPool) {
+    // Let the dynamic threshold govern admission: the per-queue cap opens up
+    // to the whole pool and alpha * free_pool becomes the binding bound.
+    topology.voq.capacity_packets = topology.voq.shared_pool_packets;
+  }
   return *this;
 }
 
@@ -313,8 +324,29 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       r.stale_notifications += topo.host(rack, i)->stale_notifications_dropped();
     }
   }
-  r.voq_shrink_deferred = topo.port(a, b)->voq().stats().shrink_deferred +
-                          topo.port(b, a)->voq().stats().shrink_deferred;
+  {
+    const QueueDisc::Stats& qf = topo.port(a, b)->voq().stats();
+    const QueueDisc::Stats& qr = topo.port(b, a)->voq().stats();
+    r.voq_shrink_deferred = qf.shrink_deferred + qr.shrink_deferred;
+    r.voq_drops = qf.dropped + qr.dropped;
+    r.voq_ce_marked = qf.ce_marked + qr.ce_marked;
+    r.voq_codel_drops = qf.codel_drops + qr.codel_drops;
+    r.voq_codel_marks = qf.codel_marks + qr.codel_marks;
+    r.voq_delay_marked = qf.delay_marked + qr.delay_marked;
+    r.voq_shared_rejected = qf.shared_rejected + qr.shared_rejected;
+    // Merge the two ports' sojourn histograms so the percentile reflects
+    // every serviced packet on the observed pair.
+    QueueDisc::Stats merged;
+    merged.sojourn_count = qf.sojourn_count + qr.sojourn_count;
+    merged.sojourn_sum_us = qf.sojourn_sum_us + qr.sojourn_sum_us;
+    for (std::size_t bkt = 0; bkt < QueueDisc::Stats::kSojournBuckets; ++bkt) {
+      merged.sojourn_hist[bkt] = qf.sojourn_hist[bkt] + qr.sojourn_hist[bkt];
+    }
+    r.voq_sojourn_mean_us = merged.mean_sojourn_us();
+    r.voq_sojourn_p99_us = merged.SojournPercentileUs(99);
+    r.voq_sojourn_max_us =
+        std::max(qf.max_sojourn, qr.max_sojourn).micros_f();
+  }
   if (trace_ring) {
     r.trace_hash = trace_ring->Hash();
     r.trace_records = trace_ring->total_emitted();

@@ -72,6 +72,19 @@ struct ExperimentConfig {
   // any base config.
   ExperimentConfig& WithVariant(Variant v);
 
+  // Swaps the VOQ queue discipline (one line: WithQdisc(QdiscKind::kCodel)),
+  // keeping every other queue knob — including the variant's ECN threshold —
+  // as configured. kSharedPool sizes each VOQ's raw capacity to the pool so
+  // the dynamic threshold, not the per-queue cap, governs admission.
+  ExperimentConfig& WithQdisc(QdiscKind kind);
+  // Full queue-discipline configuration for every fabric VOQ. Apply before
+  // WithVariant if the variant's ECN threshold should win (the sweep engine
+  // composes them in that order).
+  ExperimentConfig& WithQdiscConfig(const QueueDisc::Config& q) {
+    topology.voq = q;
+    return *this;
+  }
+
   ExperimentConfig& WithFlows(std::uint32_t n) {
     workload.num_flows = n;
     return *this;
@@ -203,6 +216,19 @@ struct ExperimentResult {
   std::uint64_t stale_notifications = 0;   // host-side dup/stale filter hits
   std::uint64_t tdn_inferred_switches = 0; // data-path inference recoveries
   std::uint64_t voq_shrink_deferred = 0;   // drain-then-shrink retained pkts
+
+  // Queue-discipline accounting, summed over the two observed fabric VOQs
+  // (port a->b and b->a). The breakdown counters are zero under plain
+  // drop-tail; the sojourn summary is populated for every discipline.
+  std::uint64_t voq_drops = 0;             // all-cause VOQ drops
+  std::uint64_t voq_ce_marked = 0;         // all-cause CE marks
+  std::uint64_t voq_codel_drops = 0;
+  std::uint64_t voq_codel_marks = 0;
+  std::uint64_t voq_delay_marked = 0;
+  std::uint64_t voq_shared_rejected = 0;
+  double voq_sojourn_mean_us = 0;
+  double voq_sojourn_p99_us = 0;           // histogram-bucket upper edge
+  double voq_sojourn_max_us = 0;
 
   // Tracing (all zero/null when TraceOptions::enabled was false). The hash
   // is order-sensitive over the whole ring, so two runs of the same config

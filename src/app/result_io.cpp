@@ -34,6 +34,7 @@ std::string SweepToJson(const SweepResult& sweep) {
     out += "{\"label\":\"" + EscapeJson(cell.label) + "\"";
     out += ",\"variant\":\"" + EscapeJson(VariantName(cell.variant)) + "\"";
     out += ",\"schedule\":\"" + EscapeJson(cell.schedule_label) + "\"";
+    out += ",\"qdisc\":\"" + EscapeJson(cell.qdisc_label) + "\"";
     out += ",\"duration_ps\":" +
            NumberToJson(static_cast<double>(cell.duration.picos()));
     out += ",\"duration_ms\":" + NumberToJson(cell.duration.millis_f());
@@ -102,6 +103,15 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "stale_notifications") r.stale_notifications = u64();
   else if (name == "tdn_inferred_switches") r.tdn_inferred_switches = u64();
   else if (name == "voq_shrink_deferred") r.voq_shrink_deferred = u64();
+  else if (name == "voq_drops") r.voq_drops = u64();
+  else if (name == "voq_ce_marked") r.voq_ce_marked = u64();
+  else if (name == "voq_codel_drops") r.voq_codel_drops = u64();
+  else if (name == "voq_codel_marks") r.voq_codel_marks = u64();
+  else if (name == "voq_delay_marked") r.voq_delay_marked = u64();
+  else if (name == "voq_shared_rejected") r.voq_shared_rejected = u64();
+  else if (name == "voq_sojourn_mean_us") r.voq_sojourn_mean_us = value;
+  else if (name == "voq_sojourn_p99_us") r.voq_sojourn_p99_us = value;
+  else if (name == "voq_sojourn_max_us") r.voq_sojourn_max_us = value;
   else if (name == "trace_hash") r.trace_hash = u64();  // 53-bit fingerprint
   else if (name == "trace_records") r.trace_records = u64();
   // Unknown metrics from a newer minor schema are ignored.
@@ -131,6 +141,7 @@ SweepResult SweepFromJson(const std::string& json) {
       cell.variant = VariantFromName(v->string);
     }
     if (const JsonValue* v = jc.Find("schedule")) cell.schedule_label = v->string;
+    if (const JsonValue* v = jc.Find("qdisc")) cell.qdisc_label = v->string;
     cell.duration = SimTime::Picos(
         static_cast<std::int64_t>(RequireNumber(jc, "duration_ps")));
 
@@ -282,7 +293,7 @@ void WriteSweepCsv(const std::string& path, const SweepResult& sweep) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) throw std::runtime_error("cannot open " + path);
 
-  std::fprintf(f, "label,variant,schedule,duration_ms,seed");
+  std::fprintf(f, "label,variant,schedule,qdisc,duration_ms,seed");
   if (!sweep.cells.empty() && !sweep.cells.front().runs.empty()) {
     for (const auto& [name, value] :
          ScalarMetrics(sweep.cells.front().runs.front().result)) {
@@ -294,9 +305,9 @@ void WriteSweepCsv(const std::string& path, const SweepResult& sweep) {
 
   for (const SweepCell& cell : sweep.cells) {
     for (const SweepRun& run : cell.runs) {
-      std::fprintf(f, "%s,%s,%s,%.6g,%llu", cell.label.c_str(),
+      std::fprintf(f, "%s,%s,%s,%s,%.6g,%llu", cell.label.c_str(),
                    VariantName(cell.variant), cell.schedule_label.c_str(),
-                   cell.duration.millis_f(),
+                   cell.qdisc_label.c_str(), cell.duration.millis_f(),
                    static_cast<unsigned long long>(run.seed));
       for (const auto& [name, value] : ScalarMetrics(run.result)) {
         (void)name;
@@ -305,9 +316,9 @@ void WriteSweepCsv(const std::string& path, const SweepResult& sweep) {
       std::fprintf(f, "\n");
     }
     for (const char* row : {"mean", "stddev", "ci95"}) {
-      std::fprintf(f, "%s,%s,%s,%.6g,%s", cell.label.c_str(),
+      std::fprintf(f, "%s,%s,%s,%s,%.6g,%s", cell.label.c_str(),
                    VariantName(cell.variant), cell.schedule_label.c_str(),
-                   cell.duration.millis_f(), row);
+                   cell.qdisc_label.c_str(), cell.duration.millis_f(), row);
       for (const auto& [name, stats] : cell.metrics) {
         (void)name;
         const double v = std::string(row) == "mean"     ? stats.mean

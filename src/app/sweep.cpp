@@ -95,6 +95,17 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"stale_notifications", static_cast<double>(r.stale_notifications)},
       {"tdn_inferred_switches", static_cast<double>(r.tdn_inferred_switches)},
       {"voq_shrink_deferred", static_cast<double>(r.voq_shrink_deferred)},
+      // Queue-discipline metrics (PR 6). Inserted mid-list is fine: the
+      // regression fixtures pin only the leading entries' order.
+      {"voq_drops", static_cast<double>(r.voq_drops)},
+      {"voq_ce_marked", static_cast<double>(r.voq_ce_marked)},
+      {"voq_codel_drops", static_cast<double>(r.voq_codel_drops)},
+      {"voq_codel_marks", static_cast<double>(r.voq_codel_marks)},
+      {"voq_delay_marked", static_cast<double>(r.voq_delay_marked)},
+      {"voq_shared_rejected", static_cast<double>(r.voq_shared_rejected)},
+      {"voq_sojourn_mean_us", r.voq_sojourn_mean_us},
+      {"voq_sojourn_p99_us", r.voq_sojourn_p99_us},
+      {"voq_sojourn_max_us", r.voq_sojourn_max_us},
       // Masked to the double mantissa so the value survives the JSON
       // round-trip exactly; 53 bits is ample for an equality fingerprint.
       {"trace_hash", static_cast<double>(r.trace_hash & ((1ull << 53) - 1))},
@@ -142,23 +153,35 @@ std::vector<SweepCase> ExpandGrid(const SweepSpec& spec) {
       spec.schedules.empty()
           ? std::vector<SchedulePoint>{{"", spec.base.schedule}}
           : spec.schedules;
+  const std::vector<QdiscPoint> qdiscs =
+      spec.qdiscs.empty()
+          ? std::vector<QdiscPoint>{{"", spec.base.topology.voq}}
+          : spec.qdiscs;
 
   std::vector<SweepCase> cases;
-  cases.reserve(variants.size() * schedules.size() * durations.size() *
-                seeds.size());
+  cases.reserve(variants.size() * schedules.size() * qdiscs.size() *
+                durations.size() * seeds.size());
   for (Variant v : variants) {
     for (const SchedulePoint& sp : schedules) {
-      for (SimTime d : durations) {
-        for (std::uint64_t seed : seeds) {
-          SweepCase c;
-          c.label = VariantName(v);
-          if (!sp.label.empty()) c.label += "/" + sp.label;
-          c.config = spec.base;
-          c.config.WithVariant(v)
-              .WithSchedule(sp.schedule)
-              .WithDuration(d)
-              .WithSeed(seed);
-          cases.push_back(std::move(c));
+      for (const QdiscPoint& qp : qdiscs) {
+        for (SimTime d : durations) {
+          for (std::uint64_t seed : seeds) {
+            SweepCase c;
+            c.label = VariantName(v);
+            if (!sp.label.empty()) c.label += "/" + sp.label;
+            if (!qp.label.empty()) c.label += "/" + qp.label;
+            c.schedule_label = sp.label;
+            c.qdisc_label = qp.label;
+            c.config = spec.base;
+            // Qdisc before variant: the variant's queue knobs (DCTCP's ECN
+            // threshold) then compose on top of the chosen discipline.
+            c.config.WithQdiscConfig(qp.qdisc)
+                .WithVariant(v)
+                .WithSchedule(sp.schedule)
+                .WithDuration(d)
+                .WithSeed(seed);
+            cases.push_back(std::move(c));
+          }
         }
       }
     }
@@ -190,11 +213,9 @@ SweepResult RunSweep(const SweepSpec& spec) {
     cell.label = cases[i].label;
     cell.variant = cases[i].config.workload.variant;
     cell.duration = cases[i].config.duration;
-    // Recover the schedule label from the case label ("variant/label").
-    const std::string vn = VariantName(cell.variant);
-    if (cell.label.size() > vn.size()) {
-      cell.schedule_label = cell.label.substr(vn.size() + 1);
-    }
+    // Axis labels travel on the case itself — no label-string surgery.
+    cell.schedule_label = cases[i].schedule_label;
+    cell.qdisc_label = cases[i].qdisc_label;
     for (std::size_t k = 0; k < seeds_per_cell; ++k) {
       cell.runs.push_back(
           SweepRun{cases[i + k].config.seed, std::move(results[i + k])});

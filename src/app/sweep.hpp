@@ -60,6 +60,14 @@ struct SchedulePoint {
   ScheduleConfig schedule;
 };
 
+// One named queue-discipline variation (the "qdisc override" axis). The
+// config is applied to the base *before* WithVariant, so a variant's own
+// queue knobs (DCTCP's ECN threshold) compose with any discipline.
+struct QdiscPoint {
+  std::string label;
+  QueueDisc::Config qdisc;
+};
+
 struct SweepSpec {
   // Shared defaults; each cell derives from a copy of this.
   ExperimentConfig base;
@@ -69,16 +77,22 @@ struct SweepSpec {
   std::vector<std::uint64_t> seeds;
   std::vector<SimTime> durations;
   std::vector<SchedulePoint> schedules;
+  std::vector<QdiscPoint> qdiscs;
 
   // Worker threads; 0 = hardware concurrency.
   int jobs = 1;
 };
 
 // A fully-resolved run: the unit of work the pool executes. Label is free
-// text for tables/CSV ("tdtcp", "-relaxed", ...).
+// text for tables/CSV ("tdtcp", "-relaxed", ...); the axis labels are also
+// carried individually so downstream grouping never parses the label.
 struct SweepCase {
   std::string label;
   ExperimentConfig config;
+  // Axis labels (after `config` so the common {label, config} aggregate
+  // init keeps working): empty for the base schedule/qdisc.
+  std::string schedule_label;
+  std::string qdisc_label;
 };
 
 // One grid cell = one (variant, schedule, duration) point, holding the
@@ -90,9 +104,10 @@ struct SweepRun {
 };
 
 struct SweepCell {
-  std::string label;            // variant name (+ "/schedule" when labeled)
+  std::string label;            // variant name (+ "/schedule" + "/qdisc")
   Variant variant = Variant::kTdtcp;
   std::string schedule_label;   // empty for the base schedule
+  std::string qdisc_label;      // empty for the base qdisc
   SimTime duration;
   std::vector<SweepRun> runs;
   std::vector<std::pair<std::string, MetricStats>> metrics;
@@ -105,7 +120,7 @@ struct SweepResult {
 };
 
 // Expands the grid in deterministic order (variant-major, then schedule,
-// then duration): cell i covers seeds [i*K, (i+1)*K).
+// then qdisc, then duration): cell i covers seeds [i*K, (i+1)*K).
 std::vector<SweepCase> ExpandGrid(const SweepSpec& spec);
 
 // Runs the whole grid on the pool and aggregates across seeds.

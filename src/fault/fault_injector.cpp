@@ -226,7 +226,7 @@ void FaultInjector::ScheduleAudit() {
 }
 
 void FaultInjector::Audit() const {
-  for (const Queue* voq : audited_voqs_) {
+  for (const QueueDisc* voq : audited_voqs_) {
     if (!voq->WithinBound()) {
       throw std::logic_error(
           "VOQ occupancy invariant violated: occupancy " +

@@ -107,7 +107,7 @@ class FaultInjector final : public FaultTraceSource {
   FaultPlan plan_;
   Random rng_;
   std::vector<GeState> ge_states_;
-  std::vector<const Queue*> audited_voqs_;
+  std::vector<const QueueDisc*> audited_voqs_;
   std::vector<FaultEvent> trace_;
   FaultStats stats_;
   bool armed_ = false;

@@ -17,10 +17,13 @@ void FabricPort::SetMode(const NetworkMode& mode) {
   // Pinned packets already admitted to the VOQ must not ride the wrong
   // network: move the ones whose network just went away back to the stash
   // (this is what strands an MPTCP subflow's tail ACKs for a whole week,
-  // §2.2), and pull in stashed packets whose network just came up.
+  // §2.2), and pull in stashed packets whose network just came up. The
+  // repack moves packets structurally (PopRaw/Restore): it is not a service
+  // or admission event, so it must not distort sojourn stats, advance the
+  // AQM, or manufacture drops for packets the queue already admitted.
   if (!voq_.Empty()) {
     keep_scratch_.clear();
-    while (auto p = voq_.Dequeue()) {
+    while (auto p = voq_.PopRaw()) {
       if (p->pinned_path != kUnpinned && p->pinned_path != active_path()) {
         auto& stash = stash_[p->pinned_path];
         if (stash.size() >= config_.pinned_stash_capacity) {
@@ -32,7 +35,7 @@ void FabricPort::SetMode(const NetworkMode& mode) {
         keep_scratch_.push_back(std::move(*p));
       }
     }
-    for (auto& p : keep_scratch_) voq_.Enqueue(std::move(p));
+    for (auto& p : keep_scratch_) voq_.Restore(std::move(p));
     keep_scratch_.clear();
   }
   TopUpFromStash();
@@ -65,7 +68,10 @@ std::uint32_t FabricPort::pinned_waiting() const {
 
 void FabricPort::TopUpFromStash() {
   auto& stash = stash_[active_path()];
-  while (!stash.empty() && voq_.occupancy() < voq_.capacity()) {
+  // CanEnqueue is the discipline's own admission predicate (plain occupancy
+  // for drop-tail, the dynamic threshold for a shared pool), so a stashed
+  // pinned packet is never offered to a queue that would drop it.
+  while (!stash.empty() && voq_.CanEnqueue()) {
     voq_.Enqueue(std::move(stash.front()));
     stash.pop_front();
   }
@@ -75,9 +81,13 @@ void FabricPort::MaybeTransmit() {
   if (busy_ || blackout_) return;
   TopUpFromStash();
   if (voq_.Empty()) return;
+  // An AQM dequeue may consume the whole backlog as drops and come back
+  // empty-handed; there is nothing to serialize then.
+  std::optional<Packet> head = voq_.Dequeue(sim_.now());
+  if (!head) return;
   // Park the in-flight packet in the simulator's freelist so each hop's
   // event captures one pointer, not a Packet copy.
-  Packet* p = sim_.StashPacket(std::move(*voq_.Dequeue()));
+  Packet* p = sim_.StashPacket(std::move(*head));
   // reTCP switch support: stamp which network carried this packet.
   p->circuit_mark = mode_.circuit;
   busy_ = true;

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "net/node.hpp"
-#include "net/queue.hpp"
+#include "net/queue_disc.hpp"
 #include "sim/simulator.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -38,7 +38,7 @@ struct NetworkMode {
 class FabricPort {
  public:
   struct Config {
-    Queue::Config voq;
+    QueueDisc::Config voq;
     NetworkMode initial_mode;
     // Optional uniform extra propagation jitter (intra-TDN reordering).
     SimTime reorder_jitter = SimTime::Zero();
@@ -57,8 +57,8 @@ class FabricPort {
 
   void Enqueue(Packet&& p);
 
-  Queue& voq() { return voq_; }
-  const Queue& voq() const { return voq_; }
+  QueueDisc& voq() { return voq_; }
+  const QueueDisc& voq() const { return voq_; }
 
   // Total packets stashed because their pinned network is inactive.
   std::uint32_t pinned_waiting() const;
@@ -86,7 +86,7 @@ class FabricPort {
   Config config_;
   PacketSink* remote_;
   Random* rng_;
-  Queue voq_;
+  QueueDisc voq_;
   NetworkMode mode_;
   bool blackout_ = false;
   bool busy_ = false;

@@ -26,9 +26,13 @@ void Link::set_enabled(bool enabled) {
 
 void Link::MaybeTransmit() {
   if (busy_ || !enabled_ || queue_.Empty()) return;
+  // An AQM dequeue may consume the whole backlog as drops and come back
+  // empty-handed; there is nothing to transmit then.
+  std::optional<Packet> head = queue_.Dequeue(sim_.now());
+  if (!head) return;
   // Park the in-flight packet in the simulator's freelist so the event
   // captures one pointer, not a Packet copy.
-  Packet* p = sim_.StashPacket(std::move(*queue_.Dequeue()));
+  Packet* p = sim_.StashPacket(std::move(*head));
   busy_ = true;
   const SimTime tx = TransmissionTime(p->size_bytes, config_.rate_bps);
   sim_.ScheduleNoCancel(tx, [this, p] {

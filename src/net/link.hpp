@@ -13,7 +13,7 @@
 #include <string>
 
 #include "net/node.hpp"
-#include "net/queue.hpp"
+#include "net/queue_disc.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -25,7 +25,7 @@ class Link {
   struct Config {
     std::uint64_t rate_bps = 10'000'000'000;  // 10 Gbps
     SimTime propagation = SimTime::Micros(1);
-    Queue::Config queue;
+    QueueDisc::Config queue;
     // When > 0, each packet's propagation is extended by a uniform random
     // extra delay in [0, reorder_jitter]; late packets can overtake, which
     // models intrinsic intra-TDN reordering.
@@ -60,8 +60,8 @@ class Link {
   void set_rate_bps(std::uint64_t rate) { config_.rate_bps = rate; }
   std::uint64_t rate_bps() const { return config_.rate_bps; }
 
-  Queue& queue() { return queue_; }
-  const Queue& queue() const { return queue_; }
+  QueueDisc& queue() { return queue_; }
+  const QueueDisc& queue() const { return queue_; }
   const std::string& name() const { return config_.name; }
 
   std::uint64_t delivered() const { return delivered_; }
@@ -76,7 +76,7 @@ class Link {
   Config config_;
   PacketSink* sink_;
   Random* rng_;
-  Queue queue_;
+  QueueDisc queue_;
   FaultFilter fault_filter_;
   bool has_fault_filter_ = false;
   bool busy_ = false;

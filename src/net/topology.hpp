@@ -31,7 +31,6 @@ struct TopologyConfig {
   // VOQ at circuit start in the real testbed.
   std::uint64_t host_link_rate_bps = 100'000'000'000;
   SimTime host_link_delay = SimTime::Nanos(500);
-  std::uint32_t host_queue_capacity = 1024;
 
   // The two TDN personalities of the fabric. Defaults reproduce §5.1:
   // packet network 10 Gbps / ~100 us RTT, optical 100 Gbps / ~40 us RTT.
@@ -40,8 +39,27 @@ struct TopologyConfig {
   NetworkMode circuit_mode{/*tdn=*/1, /*rate=*/100'000'000'000,
                            /*prop=*/SimTime::Micros(18), /*circuit=*/true};
 
-  Queue::Config voq{/*capacity=*/16,
-                    /*ecn_threshold=*/std::numeric_limits<std::uint32_t>::max()};
+  // The single queue-discipline default for every fabric-port VOQ
+  // (QueueDisc::Config's own defaults are the paper's 16-packet drop-tail
+  // VOQ with marking disabled; DCTCP configs lower the threshold and
+  // ExperimentConfig::WithQdisc swaps the discipline). Per-port exceptions
+  // go in `voq_overrides`.
+  QueueDisc::Config voq;
+  struct VoqOverride {
+    RackId src = 0;
+    RackId dst = 0;
+    QueueDisc::Config voq;
+  };
+  std::vector<VoqOverride> voq_overrides;
+
+  // The rack NIC queues (deep drop-tail by default; a NIC is not a VOQ).
+  QueueDisc::Config host_queue = HostQueueDefault();
+  static QueueDisc::Config HostQueueDefault() {
+    QueueDisc::Config q;
+    q.capacity_packets = 1024;
+    return q;
+  }
+
   SimTime fabric_reorder_jitter = SimTime::Zero();
 
   NotifyGenConfig notify;

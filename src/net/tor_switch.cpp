@@ -1,5 +1,6 @@
 #include "net/tor_switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -12,8 +13,14 @@ void ToRSwitch::AttachHost(NodeId host, Link* downlink, PacketSink* control_sink
 
 FabricPort* ToRSwitch::AddRemoteRack(RackId rack, FabricPort::Config config,
                                      PacketSink* remote_tor) {
+  const bool shares = config.voq.kind == QdiscKind::kSharedPool;
+  if (shares) {
+    shared_pool_.total_packets =
+        std::max(shared_pool_.total_packets, config.voq.shared_pool_packets);
+  }
   auto port = std::make_unique<FabricPort>(sim_, std::move(config), remote_tor, rng_);
   FabricPort* raw = port.get();
+  if (shares) raw->voq().AttachSharedPool(&shared_pool_);
   ports_[rack] = std::move(port);
   return raw;
 }

@@ -49,6 +49,11 @@ class ToRSwitch : public PacketSink {
   // network (in practice, the host itself).
   void AttachHost(NodeId host, Link* downlink, PacketSink* control_sink);
 
+  // Creates the fabric port toward `rack`. A port configured with
+  // QdiscKind::kSharedPool is attached to this switch's buffer pool (the
+  // pool is provisioned to the largest shared_pool_packets seen across
+  // ports), so every such VOQ on the ToR competes under dynamic-threshold
+  // sharing.
   FabricPort* AddRemoteRack(RackId rack, FabricPort::Config config,
                             PacketSink* remote_tor);
 
@@ -94,6 +99,10 @@ class ToRSwitch : public PacketSink {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t notifications_sent() const { return notifications_sent_; }
 
+  // The switch-wide buffer pool (kSharedPool VOQs only; total_packets stays
+  // zero when no port shares).
+  const SharedBufferPool& shared_pool() const { return shared_pool_; }
+
   // Total notification generation latency accumulated for the most recent
   // NotifyHosts() call, per host (for §5.4 latency breakdowns).
   const std::vector<SimTime>& last_notify_latency() const {
@@ -116,6 +125,7 @@ class ToRSwitch : public PacketSink {
   std::vector<HostPort> hosts_;
   std::unordered_map<NodeId, std::size_t> host_index_;
   std::unordered_map<RackId, std::unique_ptr<FabricPort>> ports_;
+  SharedBufferPool shared_pool_;
   std::function<RackId(NodeId)> rack_of_;
   std::uint32_t hosts_per_rack_ = 0;  // 0 = use rack_of_
   NotifyFaultHook notify_fault_;

@@ -83,7 +83,7 @@ void RdcnController::ResizeVoqs(std::uint32_t packets) {
   // Shrinking back to the normal capacity at circuit teardown while the
   // enlarged VOQ is still deep performs a drain-then-shrink (§5.2): the
   // queue stops admitting but retains the excess until it drains at packet
-  // speed; Queue::Stats::shrink_deferred counts the retained packets.
+  // speed; QueueDisc::Stats::shrink_deferred counts the retained packets.
   for (FabricPort* p : ports_) p->voq().set_capacity(packets);
 }
 

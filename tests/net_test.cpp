@@ -4,7 +4,7 @@
 #include "net/fabric_port.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
-#include "net/queue.hpp"
+#include "net/queue_disc.hpp"
 #include "net/topology.hpp"
 #include "net/tor_switch.hpp"
 #include "sim/simulator.hpp"
@@ -37,7 +37,7 @@ Packet MakeData(std::uint32_t size = 9000, NodeId dst = 1) {
 // ---------------------------------------------------------------------------
 
 TEST(Queue, DropsWhenFull) {
-  Queue q(Queue::Config{.capacity_packets = 2});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 2});
   EXPECT_TRUE(q.Enqueue(MakeData()));
   EXPECT_TRUE(q.Enqueue(MakeData()));
   EXPECT_FALSE(q.Enqueue(MakeData()));
@@ -46,41 +46,41 @@ TEST(Queue, DropsWhenFull) {
 }
 
 TEST(Queue, FifoOrder) {
-  Queue q(Queue::Config{.capacity_packets = 10});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 10});
   Packet a = MakeData();
   Packet b = MakeData();
   const auto ida = a.id, idb = b.id;
   q.Enqueue(std::move(a));
   q.Enqueue(std::move(b));
-  EXPECT_EQ(q.Dequeue()->id, ida);
-  EXPECT_EQ(q.Dequeue()->id, idb);
-  EXPECT_FALSE(q.Dequeue().has_value());
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->id, ida);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->id, idb);
+  EXPECT_FALSE(q.Dequeue(SimTime::Zero()).has_value());
 }
 
 TEST(Queue, EcnMarksAboveThreshold) {
-  Queue q(Queue::Config{.capacity_packets = 10, .ecn_threshold_packets = 2});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 10, .ecn_threshold_packets = 2});
   for (int i = 0; i < 4; ++i) {
     Packet p = MakeData();
     p.ecn = Ecn::kEct0;
     q.Enqueue(std::move(p));
   }
   // First two admitted below threshold, last two marked.
-  EXPECT_EQ(q.Dequeue()->ecn, Ecn::kEct0);
-  EXPECT_EQ(q.Dequeue()->ecn, Ecn::kEct0);
-  EXPECT_EQ(q.Dequeue()->ecn, Ecn::kCe);
-  EXPECT_EQ(q.Dequeue()->ecn, Ecn::kCe);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->ecn, Ecn::kEct0);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->ecn, Ecn::kEct0);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->ecn, Ecn::kCe);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->ecn, Ecn::kCe);
   EXPECT_EQ(q.stats().ce_marked, 2u);
 }
 
 TEST(Queue, EcnIgnoresNotEct) {
-  Queue q(Queue::Config{.capacity_packets = 10, .ecn_threshold_packets = 0});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 10, .ecn_threshold_packets = 0});
   q.Enqueue(MakeData());  // NotEct by default
-  EXPECT_EQ(q.Dequeue()->ecn, Ecn::kNotEct);
+  EXPECT_EQ(q.Dequeue(SimTime::Zero())->ecn, Ecn::kNotEct);
   EXPECT_EQ(q.stats().ce_marked, 0u);
 }
 
 TEST(Queue, RuntimeResizeKeepsPackets) {
-  Queue q(Queue::Config{.capacity_packets = 4});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 4});
   for (int i = 0; i < 4; ++i) q.Enqueue(MakeData());
   q.set_capacity(2);  // shrink below occupancy
   EXPECT_EQ(q.occupancy(), 4u);
@@ -90,10 +90,10 @@ TEST(Queue, RuntimeResizeKeepsPackets) {
 }
 
 TEST(Queue, TracksMaxOccupancy) {
-  Queue q(Queue::Config{.capacity_packets = 8});
+  QueueDisc q(QueueDisc::Config{.capacity_packets = 8});
   for (int i = 0; i < 5; ++i) q.Enqueue(MakeData());
-  q.Dequeue();
-  q.Dequeue();
+  q.Dequeue(SimTime::Zero());
+  q.Dequeue(SimTime::Zero());
   EXPECT_EQ(q.stats().max_occupancy, 5u);
 }
 

@@ -374,7 +374,7 @@ TEST(ResultIo, FileRoundTripAndCsv) {
   ASSERT_NE(f, nullptr);
   char line[4096];
   ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
-  EXPECT_EQ(std::string(line).rfind("label,variant,schedule,duration_ms,seed",
+  EXPECT_EQ(std::string(line).rfind("label,variant,schedule,qdisc,duration_ms,seed",
                                     0), 0u);
   int rows = 0;
   while (std::fgets(line, sizeof line, f)) ++rows;

@@ -3,15 +3,24 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--max-regress=0.15]
+                           [--metric=NAME]
 
-Prints a per-benchmark table of cpu time and items/sec with the
+Default mode prints a per-benchmark table of cpu time and items/sec with the
 candidate/baseline ratio, and exits nonzero if any benchmark present in both
 documents regressed by more than --max-regress (default 15%, measured on
 items/sec when available, cpu time otherwise).
 
+With --metric=NAME the comparison runs on counters[NAME] instead (e.g.
+fct_p99_us or voq_drops from bench_incast). Counters are treated as
+lower-is-better: the candidate regresses when its value grows by more than
+--max-regress over the baseline's. Runs lacking the counter are skipped.
+
 Typical workflow (EXPERIMENTS.md has the full recipe):
     ./build/bench/bench_micro --out=/tmp/now.json
     tools/bench_compare.py BENCH_sim_core.json /tmp/now.json
+
+    ./build/bench/bench_incast --out=/tmp/incast
+    tools/bench_compare.py BENCH_incast.json /tmp/incast.json --metric=fct_p99_us
 """
 import argparse
 import json
@@ -31,9 +40,40 @@ def load(path):
         except json.JSONDecodeError as e:
             sys.exit(f"{path}: not valid JSON ({e})")
     if doc.get("schema") != "tdtcp-bench/1":
-        sys.exit(f"{path}: not a tdtcp-bench/1 document "
-                 f"(schema={doc.get('schema')!r})")
+        sys.exit(f"{path}: schema skew — found schema={doc.get('schema')!r}, "
+                 f"this tool expects 'tdtcp-bench/1'.\n"
+                 f"Sweep documents (tdtcp-sweep/1) are a different format; "
+                 f"regenerate a bench document with\n"
+                 f"    ./build/bench/bench_micro --out={path}\n"
+                 f"or ./build/bench/bench_incast --out=<base> (writes "
+                 f"<base>.json)")
     return {run["name"]: run for run in doc["runs"]}
+
+
+def compare_metric(base, cand, shared, metric, max_regress):
+    """Lower-is-better comparison of counters[metric] across shared runs."""
+    rows = [n for n in shared if metric in base[n].get("counters", {})
+            and metric in cand[n].get("counters", {})]
+    skipped = [n for n in shared if n not in rows]
+    if not rows:
+        sys.exit(f"counter {metric!r} is present in no shared benchmark; "
+                 f"available: "
+                 f"{sorted(set().union(*(base[n].get('counters', {}) for n in shared)))}")
+
+    width = max(len(n) for n in rows)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'cand':>12}  {'ratio':>7}"
+          f"   ({metric}, lower is better)")
+    regressions = []
+    for name in rows:
+        b = base[name]["counters"][metric]
+        c = cand[name]["counters"][metric]
+        ratio = c / b if b else (0.0 if c == 0 else float("inf"))
+        print(f"{name:<{width}}  {b:>12.2f}  {c:>12.2f}  {ratio:>6.2f}x")
+        if ratio > 1 + max_regress:
+            regressions.append((name, ratio))
+    if skipped:
+        print(f"\nskipped (no {metric!r} counter): {', '.join(skipped)}")
+    return regressions
 
 
 def main():
@@ -43,6 +83,9 @@ def main():
     ap.add_argument("--max-regress", type=float, default=0.15,
                     help="fail if any shared benchmark slows by more than "
                          "this fraction (default 0.15)")
+    ap.add_argument("--metric", default=None,
+                    help="compare this counters[] entry (lower is better) "
+                         "instead of cpu time / items/sec")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -51,29 +94,33 @@ def main():
     if not shared:
         sys.exit("no benchmark names in common between the two documents")
 
-    width = max(len(n) for n in shared)
-    print(f"{'benchmark':<{width}}  {'base cpu':>10}  {'cand cpu':>10}  "
-          f"{'base it/s':>10}  {'cand it/s':>10}  {'speedup':>7}")
-    regressions = []
-    for name in shared:
-        b, c = base[name], cand[name]
-        b_rate, c_rate = b["items_per_second"], c["items_per_second"]
-        if b_rate > 0 and c_rate > 0:
-            speedup = c_rate / b_rate
-        else:
-            speedup = b["cpu_time_ns"] / c["cpu_time_ns"] if c["cpu_time_ns"] else 0
+    if args.metric:
+        regressions = compare_metric(base, cand, shared, args.metric,
+                                     args.max_regress)
+    else:
+        width = max(len(n) for n in shared)
+        print(f"{'benchmark':<{width}}  {'base cpu':>10}  {'cand cpu':>10}  "
+              f"{'base it/s':>10}  {'cand it/s':>10}  {'speedup':>7}")
+        regressions = []
+        for name in shared:
+            b, c = base[name], cand[name]
+            b_rate, c_rate = b["items_per_second"], c["items_per_second"]
+            if b_rate > 0 and c_rate > 0:
+                speedup = c_rate / b_rate
+            else:
+                speedup = b["cpu_time_ns"] / c["cpu_time_ns"] if c["cpu_time_ns"] else 0
 
-        def ns(v):
-            return f"{v / 1e6:.2f}ms" if v >= 1e6 else f"{v:.0f}ns"
+            def ns(v):
+                return f"{v / 1e6:.2f}ms" if v >= 1e6 else f"{v:.0f}ns"
 
-        def rate(v):
-            return f"{v / 1e6:.2f}M/s" if v else "-"
+            def rate(v):
+                return f"{v / 1e6:.2f}M/s" if v else "-"
 
-        print(f"{name:<{width}}  {ns(b['cpu_time_ns']):>10}  "
-              f"{ns(c['cpu_time_ns']):>10}  {rate(b_rate):>10}  "
-              f"{rate(c_rate):>10}  {speedup:>6.2f}x")
-        if speedup and speedup < 1 - args.max_regress:
-            regressions.append((name, speedup))
+            print(f"{name:<{width}}  {ns(b['cpu_time_ns']):>10}  "
+                  f"{ns(c['cpu_time_ns']):>10}  {rate(b_rate):>10}  "
+                  f"{rate(c_rate):>10}  {speedup:>6.2f}x")
+            if speedup and speedup < 1 - args.max_regress:
+                regressions.append((name, speedup))
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
@@ -85,8 +132,8 @@ def main():
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.max_regress:.0%}:")
-        for name, speedup in regressions:
-            print(f"  {name}: {speedup:.2f}x")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
         return 1
     print(f"\nOK: no benchmark regressed more than {args.max_regress:.0%}")
     return 0
