@@ -1,160 +1,161 @@
-// Short flows (§5.1's scoping claim): "RPC workloads that last a few RTTs
-// likely only exist during one TDN... In such cases, a larger initial cwnd
-// would be more helpful than TDTCP."
+// Short-flow tail FCT under faulted churn: the recovery-axis bench.
 //
-// We measure flow completion times for short transfers started at staggered
-// offsets within the week, for: CUBIC (iw10), TDTCP (iw10), and CUBIC with
-// a large initial window (iw40) — checking that TDTCP neither helps nor
-// hurts short flows while a bigger initial window does help.
+// The RTO tail is the short-flow killer in this RDCN (PAPERS.md, T-RACKs):
+// a tail-end drop on a transfer too short for dupACK/SACK recovery waits
+// out a full — often exponentially backed-off — RTO that can phase-lock
+// with the rotation week. This bench churns short connections through a
+// hostile fabric (Gilbert-Elliott burst loss on the fabric ports plus lossy
+// TDN notifications) and measures flow completion time percentiles — p50,
+// p99 and p99.9, because the rescue only shows in the tail — under each
+// recovery mode:
+//
+//   off     pure RTO recovery (RACK and TLP disabled)
+//   rack    the stack's default RACK-TLP machinery
+//   agent   RACK-TLP plus the per-host shared RecoveryAgent forcing early
+//           retransmits for flows quiet past the adaptive threshold
+//
+// crossed with {droptail, codel} VOQs so the agent is exercised under both
+// loss profiles. Every cell is one deterministic RunExperiment (private
+// Simulator); results are bit-identical at any --jobs. With --out the table
+// is written as tdtcp-bench/1 JSON — the tracked BENCH_shortflows.json
+// baseline — and gated with tools/bench_compare.py
+// --metric=fct_p50_us,fct_p99_us,fct_p999_us.
 #include "bench_util.hpp"
-
-#include "rdcn/controller.hpp"
-#include "sim/random.hpp"
-#include "sim/simulator.hpp"
-#include "tcp/tcp_connection.hpp"
 
 using namespace tdtcp;
 using namespace tdtcp::bench;
 
 namespace {
 
-struct FctStats {
-  std::vector<double> fct_us;
-  int aborted = 0;  // flows whose sender closed with an abnormal reason
+struct Cell {
+  std::string name;
+  RecoveryMode recovery;
+  QdiscKind qdisc;
 };
 
-FctStats MeasureShortFlows(Variant v, std::uint32_t initial_cwnd,
-                           std::uint64_t flow_bytes, int flows_total,
-                           const BenchArgs& args) {
-  ExperimentConfig cfg = PaperConfig(v);
-  ApplyQdisc(cfg, args);
-  Simulator sim;
-  Random rng(cfg.seed);
-  Topology topo(sim, rng, cfg.topology);
-  RdcnController::Config rc;
-  rc.schedule = cfg.schedule;
-  rc.packet_mode = cfg.topology.packet_mode;
-  rc.circuit_mode = cfg.topology.circuit_mode;
-  RdcnController controller(sim, rc, {topo.port(0, 1), topo.port(1, 0)},
-                            {topo.tor(0), topo.tor(1)});
-  controller.Start();
-
-  // Two long-lived background flows keep the fabric realistically busy.
-  TcpConfig bg = MakeVariantConfig(v, cfg.workload.base);
-  bg.initial_cwnd = initial_cwnd;
-  std::vector<std::unique_ptr<TcpConnection>> conns;
-  for (std::uint32_t i = 0; i < 2; ++i) {
-    conns.push_back(std::make_unique<TcpConnection>(
-        sim, topo.host(1, i), 100 + i, topo.host_id(0, i), bg));
-    conns.back()->Listen();
-    conns.push_back(std::make_unique<TcpConnection>(
-        sim, topo.host(0, i), 100 + i, topo.host_id(1, i), bg));
-    conns.back()->Connect();
-    conns.back()->SetUnlimitedData(true);
+std::vector<Cell> Cells() {
+  std::vector<Cell> cells;
+  for (const QdiscKind q : {QdiscKind::kDropTail, QdiscKind::kCodel}) {
+    for (const RecoveryMode m :
+         {RecoveryMode::kOff, RecoveryMode::kRack, RecoveryMode::kAgent}) {
+      cells.push_back(Cell{std::string(RecoveryModeName(m)) + "/" +
+                               QdiscKindName(q),
+                           m, q});
+    }
   }
-
-  FctStats stats;
-  // Short flows start staggered across week offsets (host slots 2..).
-  const SimTime week = Schedule(cfg.schedule).week_length();
-  int started = 0;
-  std::uint32_t slot = 2;
-  // The start events capture one pointer to this frame-local bundle instead
-  // of a fistful of references (events have a bounded inline capture).
-  struct StartEnv {
-    Simulator& sim;
-    Topology& topo;
-    TcpConfig& bg;
-    std::vector<std::unique_ptr<TcpConnection>>& conns;
-    FctStats& stats;
-    int& started;
-    std::uint64_t flow_bytes;
-  } env{sim, topo, bg, conns, stats, started, flow_bytes};
-  for (int i = 0; i < flows_total; ++i) {
-    const SimTime start = SimTime::Millis(2) + week * (i / 7) +
-                          (week * (i % 7)) / 7;
-    const std::uint32_t host_idx = slot;
-    slot = 2 + (slot - 1) % (topo.config().hosts_per_rack - 2);
-    const FlowId id = static_cast<FlowId>(1000 + i);
-    sim.ScheduleAt(start, [e = &env, id, host_idx, start] {
-      Simulator& sim = e->sim;
-      Topology& topo = e->topo;
-      FctStats& stats = e->stats;
-      const std::uint64_t flow_bytes = e->flow_bytes;
-      // Real lifecycle: the FCT clock runs from Connect() to the sender's
-      // ClosedFn, covering handshake, transfer, and FIN teardown. A short
-      // TIME_WAIT keeps the 2MSL constant from drowning the comparison.
-      TcpConfig sc = e->bg;
-      sc.time_wait_duration = SimTime::Micros(10);
-      TcpConfig rc = sc;
-      rc.close_on_peer_fin = true;
-      auto rx = std::make_unique<TcpConnection>(
-          sim, topo.host(1, host_idx), id, topo.host_id(0, host_idx), rc);
-      rx->Listen();
-      auto tx = std::make_unique<TcpConnection>(
-          sim, topo.host(0, host_idx), id, topo.host_id(1, host_idx), sc);
-      tx->SetClosedCallback([&stats, &sim, start](CloseReason reason) {
-        if (reason == CloseReason::kNormal) {
-          stats.fct_us.push_back((sim.now() - start).micros_f());
-        } else {
-          ++stats.aborted;
-        }
-      });
-      tx->Connect();
-      tx->AddAppData(flow_bytes);
-      tx->Close();  // lingering close: the FIN rides behind the payload
-      ++e->started;
-      e->conns.push_back(std::move(rx));
-      e->conns.push_back(std::move(tx));
-    });
-  }
-
-  sim.RunUntil(SimTime::Millis(60));
-  return stats;
+  return cells;
 }
 
-void Report(const char* name, const FctStats& s, int flows_total) {
-  std::printf("%-14s %6zu/%d closed (%d aborted)   p50 %8.0f us   "
-              "p90 %8.0f us   p99 %8.0f us\n",
-              name, s.fct_us.size(), flows_total, s.aborted,
-              Percentile(s.fct_us, 50), Percentile(s.fct_us, 90),
-              Percentile(s.fct_us, 99));
+ExperimentConfig CellConfig(const Cell& cell, const BenchArgs& args) {
+  ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                             .WithDurationMs(args.duration_ms)
+                             .WithQdisc(cell.qdisc)
+                             .WithRecovery(cell.recovery);
+  // Two long-lived flows keep the fabric realistically busy; the churn is
+  // the measured population.
+  cfg.workload.num_flows = 2;
+  // Short transfers (1..4 segments): mostly too short for dupACK/SACK
+  // recovery, so a tail drop leaves only the RTO — or the agent.
+  cfg.churn.enabled = true;
+  cfg.churn.target_connections = 400;
+  cfg.churn.mean_interarrival = SimTime::Micros(60);
+  cfg.churn.min_transfer_bytes = 8940;
+  cfg.churn.max_transfer_bytes = 4 * 8940;
+  cfg.churn.max_concurrent = 24;
+  // Hostile fabric: correlated burst loss eats whole short flows at once,
+  // and lossy notifications desynchronize the per-TDN state the stack
+  // recovers with.
+  FaultPlan plan;
+  plan.fabric.gilbert_elliott = true;
+  plan.fabric.ge_p_good_to_bad = 0.002;
+  plan.fabric.ge_p_bad_to_good = 0.2;
+  plan.control.notify_loss_rate = 0.05;
+  cfg.fault = plan;
+  return cfg;
+}
+
+BenchRun ToRun(const Cell& cell, const ExperimentResult& r) {
+  BenchRun run;
+  run.name = cell.name;
+  run.iterations = 1;
+  auto& c = run.counters;
+  c["completed"] = static_cast<double>(r.churn_fct_us.size());
+  c["opened"] = static_cast<double>(r.churn.opened);
+  c["abnormal"] = static_cast<double>(r.churn.abnormal());
+  c["fct_p50_us"] = Percentile(r.churn_fct_us, 50);
+  c["fct_p99_us"] = Percentile(r.churn_fct_us, 99);
+  c["fct_p999_us"] = Percentile(r.churn_fct_us, 99.9);
+  c["timeouts"] = static_cast<double>(r.timeouts);
+  c["recovery_forced"] = static_cast<double>(r.recovery_forced);
+  c["recovery_rescued"] = static_cast<double>(r.recovery_rescued);
+  c["recovery_spurious"] = static_cast<double>(r.recovery_spurious);
+  // 53-bit determinism fingerprint: two runs of this bench match iff their
+  // churn lifecycles are bit-identical (the jobs=1 == jobs=N check).
+  c["churn_hash"] = static_cast<double>(r.churn_hash & ((1ull << 53) - 1));
+  return run;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs args = ParseBenchArgs(argc, argv, 70);
-  const int flows = args.duration_ms;  // legacy: positional arg is the count
-  const std::uint64_t kFlowBytes = 20 * 8940;  // ~180 KB: a few RTTs
+  const BenchArgs args = ParseBenchArgs(argc, argv, 40);
 
-  std::printf("Short-flow completion times (%llu KB transfers, %d flows "
-              "staggered across week offsets,\nwith long-lived background "
-              "traffic):\n\n",
-              static_cast<unsigned long long>(kFlowBytes / 1000), flows);
-
-  // Four independent measurements (private Simulator each) on the pool.
-  struct Setup {
-    const char* name;
-    Variant variant;
-    std::uint32_t iw;
-  };
-  const std::vector<Setup> setups = {
-      {"cubic iw10", Variant::kCubic, 10},
-      {"tdtcp iw10", Variant::kTdtcp, 10},
-      {"cubic iw40", Variant::kCubic, 40},
-      {"tdtcp iw40", Variant::kTdtcp, 40},
-  };
-  std::vector<FctStats> stats(setups.size());
-  ParallelFor(args.jobs, setups.size(), [&](std::size_t i) {
-    stats[i] = MeasureShortFlows(setups[i].variant, setups[i].iw, kFlowBytes,
-                                 flows, args);
-  });
-  for (std::size_t i = 0; i < setups.size(); ++i) {
-    Report(setups[i].name, stats[i], flows);
+  std::vector<Cell> cells = Cells();
+  if (!args.recovery.empty()) {
+    std::erase_if(cells, [&](const Cell& c) {
+      return RecoveryModeName(c.recovery) != args.recovery;
+    });
+  }
+  if (!args.qdisc.empty()) {
+    std::erase_if(cells, [&](const Cell& c) {
+      return QdiscKindName(c.qdisc) != args.qdisc;
+    });
   }
 
-  std::printf("\nexpectation (§5.1): TDTCP is roughly FCT-neutral for short "
-              "flows; a larger initial\ncwnd helps them more than per-TDN "
-              "state does.\n");
+  std::printf("Short-flow FCT under faulted churn (%d ms, Gilbert-Elliott "
+              "fabric loss + lossy\nnotifications, 400 short transfers), per "
+              "recovery mode x VOQ discipline:\n\n",
+              args.duration_ms);
+
+  // One private Simulator per cell on the pool; results are bit-identical
+  // at any job count.
+  std::vector<ExperimentResult> results(cells.size());
+  ParallelFor(args.jobs, cells.size(), [&](std::size_t i) {
+    results[i] = RunExperiment(CellConfig(cells[i], args));
+  });
+
+  std::printf("%-15s %9s %8s %9s %9s %9s %7s %7s %7s %9s\n", "cell",
+              "completed", "abnorml", "p50_us", "p99_us", "p999_us", "rto",
+              "forced", "rescue", "spurious");
+  BenchReport report;
+  report.context = "bench_shortflows";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const BenchRun run = ToRun(cells[i], results[i]);
+    std::printf(
+        "%-15s %6.0f/%-3.0f %7.0f %9.0f %9.0f %9.0f %7.0f %7.0f %7.0f %9.0f\n",
+        cells[i].name.c_str(), run.counters.at("completed"),
+        run.counters.at("opened"), run.counters.at("abnormal"),
+        run.counters.at("fct_p50_us"), run.counters.at("fct_p99_us"),
+        run.counters.at("fct_p999_us"), run.counters.at("timeouts"),
+        run.counters.at("recovery_forced"),
+        run.counters.at("recovery_rescued"),
+        run.counters.at("recovery_spurious"));
+    report.runs.push_back(run);
+  }
+
+  std::printf("\nexpectation: the agent cuts the p99/p99.9 tail versus both "
+              "pure-RTO and RACK-TLP\nalone (quiet flows are rescued before "
+              "the backed-off RTO), at the cost of a few\nspurious forcings "
+              "the DSACK undo machinery repairs.\n");
+
+  if (!args.out.empty()) {
+    try {
+      WriteBenchJson(args.out + ".json", report);
+      std::fprintf(stderr, "  wrote %s.json (schema %s)\n", args.out.c_str(),
+                   kBenchSchemaVersion);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "  --out failed: %s\n", e.what());
+    }
+  }
   return 0;
 }

@@ -34,6 +34,7 @@ struct BenchArgs {
   int jobs = 0;       // 0 = hardware concurrency
   int seeds = 1;      // seeds 1..K per configuration point
   std::string qdisc;  // VOQ discipline name ("" = config default)
+  std::string recovery;  // recovery mode name ("" = config default)
   std::string out;    // base path for sweep JSON/CSV ("" = don't write)
 
   std::vector<std::uint64_t> SeedList() const {
@@ -65,6 +66,17 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
                      argv[0], args.qdisc.c_str());
         std::exit(2);
       }
+    } else if (std::strncmp(a, "--recovery=", 11) == 0) {
+      args.recovery = a + 11;
+      try {
+        (void)RecoveryModeFromName(args.recovery);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "%s: unknown --recovery '%s' (expected off | rack | "
+                     "agent)\n",
+                     argv[0], args.recovery.c_str());
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--out=", 6) == 0) {
       args.out = a + 6;
     } else if (a[0] != '-' && std::atoi(a) > 0) {
@@ -72,7 +84,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [duration_ms] [--duration-ms=D] [--jobs=N] "
-                   "[--seeds=K] [--qdisc=NAME] [--out=path]\n",
+                   "[--seeds=K] [--qdisc=NAME] [--recovery=MODE] [--out=path]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -85,6 +97,14 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
 // setup path makes the discipline a command-line axis.
 inline void ApplyQdisc(ExperimentConfig& cfg, const BenchArgs& args) {
   if (!args.qdisc.empty()) cfg.WithQdisc(QdiscKindFromName(args.qdisc));
+}
+
+// Applies --recovery (when given): the tail-recovery axis (off | rack |
+// agent) becomes a command-line knob on every sim-scale bench.
+inline void ApplyRecovery(ExperimentConfig& cfg, const BenchArgs& args) {
+  if (!args.recovery.empty()) {
+    cfg.WithRecovery(RecoveryModeFromName(args.recovery));
+  }
 }
 
 struct VariantRun {
@@ -124,6 +144,7 @@ inline std::vector<VariantRun> RunVariants(const std::vector<Variant>& variants,
   SweepSpec spec;
   spec.base = base;
   ApplyQdisc(spec.base, args);
+  ApplyRecovery(spec.base, args);
   spec.variants = variants;
   spec.seeds = args.SeedList();
   spec.jobs = args.jobs;

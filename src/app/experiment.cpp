@@ -65,13 +65,33 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                             {topo.port(a, b), topo.port(b, a)},
                             {topo.tor(a), topo.tor(b)});
 
-  Workload workload(sim, topo, config.workload);
+  // The recovery axis edits the effective transport config (kOff strips
+  // RACK and TLP for a pure-RTO baseline) and, for kAgent, plants one agent
+  // per host. Agents are created before any connection so constructors find
+  // them via Host::recovery_agent(), and declared before the workload/churn
+  // so connections deregister from a live agent during teardown.
+  WorkloadConfig effective_workload = config.workload;
+  if (config.recovery == RecoveryMode::kOff) {
+    effective_workload.base.rack_enabled = false;
+    effective_workload.base.tlp_enabled = false;
+  }
+  std::vector<std::unique_ptr<RecoveryAgent>> agents;
+  if (config.recovery == RecoveryMode::kAgent) {
+    for (RackId rack = 0; rack < config.topology.num_racks; ++rack) {
+      for (std::uint32_t i = 0; i < config.topology.hosts_per_rack; ++i) {
+        agents.push_back(std::make_unique<RecoveryAgent>(
+            sim, *topo.host(rack, i), config.recovery_config));
+      }
+    }
+  }
+
+  Workload workload(sim, topo, effective_workload);
 
   std::unique_ptr<ChurnGenerator> churn;
   if (config.churn.enabled) {
     ChurnConfig cc = config.churn;
     if (cc.inherit_base) {
-      cc.base = config.workload.base;
+      cc.base = effective_workload.base;
       // Churn cycles are plain TcpConnection pairs; an MPTCP experiment's
       // churn traffic runs the subflow transport instead.
       cc.variant = config.workload.variant == Variant::kMptcp
@@ -310,6 +330,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     r.churn = churn->stats();
     r.churn_hash = churn->hash();
     r.churn_all_closed = churn->AllClosed();
+    r.churn_fct_us.reserve(churn->fcts().size());
+    for (SimTime fct : churn->fcts()) r.churn_fct_us.push_back(fct.micros_f());
+  }
+
+  // Host recovery agent accounting.
+  for (const auto& agent : agents) {
+    r.recovery_forced += agent->stats().forced;
+    r.recovery_rescued += agent->stats().rescued;
+    r.recovery_spurious += agent->stats().spurious;
   }
 
   // Fault/robustness accounting.

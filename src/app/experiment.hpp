@@ -13,6 +13,7 @@
 
 #include "app/workload.hpp"
 #include "fault/fault_plan.hpp"
+#include "tcp/recovery_agent.hpp"
 #include "net/topology.hpp"
 #include "rdcn/controller.hpp"
 #include "trace/samplers.hpp"
@@ -51,6 +52,13 @@ struct ExperimentConfig {
   ChurnConfig churn;
   // Fault scenario; an empty plan (the default) arms no injector.
   FaultPlan fault;
+  // Tail-recovery axis. kRack is the stack's default (RACK + TLP, no agent);
+  // kOff disables both on every connection (pure RTO recovery); kAgent
+  // additionally runs one shared RecoveryAgent per host, scanning every
+  // connection off the host's timer wheel and forcing early retransmits for
+  // flows quiet past the adaptive threshold.
+  RecoveryMode recovery = RecoveryMode::kRack;
+  RecoveryConfig recovery_config;
   // Tracepoint ring / replay recording; disabled by default.
   TraceOptions trace;
   bool dynamic_voq = false;  // reTCPdyn switch cooperation
@@ -126,6 +134,15 @@ struct ExperimentConfig {
   }
   ExperimentConfig& WithFault(const FaultPlan& plan) {
     fault = plan;
+    return *this;
+  }
+  ExperimentConfig& WithRecovery(RecoveryMode m) {
+    recovery = m;
+    return *this;
+  }
+  ExperimentConfig& WithRecoveryConfig(const RecoveryConfig& rc) {
+    recovery = RecoveryMode::kAgent;
+    recovery_config = rc;
     return *this;
   }
   // Adds a churn workload of `connections` open/transfer/close cycles with
@@ -208,6 +225,15 @@ struct ExperimentResult {
   ChurnStats churn;
   std::uint64_t churn_hash = 0;   // ChurnGenerator::hash() fingerprint
   bool churn_all_closed = true;
+  // Per-cycle flow completion times (µs) of kNormal churn closes, in
+  // completion order; empty when churn was disabled.
+  std::vector<double> churn_fct_us;
+
+  // Host recovery agent accounting, summed over every host's agent (all
+  // zero unless the run used RecoveryMode::kAgent).
+  std::uint64_t recovery_forced = 0;
+  std::uint64_t recovery_rescued = 0;
+  std::uint64_t recovery_spurious = 0;
 
   // Fault-injection accounting (all zero when the plan was empty).
   std::uint64_t faults_injected = 0;       // every recorded fault event

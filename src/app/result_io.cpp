@@ -114,6 +114,9 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "voq_sojourn_max_us") r.voq_sojourn_max_us = value;
   else if (name == "trace_hash") r.trace_hash = u64();  // 53-bit fingerprint
   else if (name == "trace_records") r.trace_records = u64();
+  else if (name == "recovery_forced") r.recovery_forced = u64();
+  else if (name == "recovery_rescued") r.recovery_rescued = u64();
+  else if (name == "recovery_spurious") r.recovery_spurious = u64();
   // Unknown metrics from a newer minor schema are ignored.
 }
 

@@ -120,6 +120,11 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"churn_bytes", static_cast<double>(r.churn.bytes_completed)},
       {"churn_hash", static_cast<double>(r.churn_hash & ((1ull << 53) - 1))},
       {"churn_all_closed", r.churn_all_closed ? 1.0 : 0.0},
+      // Host recovery agent metrics (PR 7); appended at the end like the
+      // churn family so fixture-pinned leading entries keep their order.
+      {"recovery_forced", static_cast<double>(r.recovery_forced)},
+      {"recovery_rescued", static_cast<double>(r.recovery_rescued)},
+      {"recovery_spurious", static_cast<double>(r.recovery_spurious)},
   };
 }
 

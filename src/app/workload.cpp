@@ -279,6 +279,9 @@ void ChurnGenerator::OnEndClosed(std::uint32_t idx, bool sender_end,
   ++stats_.closed;
   ++stats_.reasons[static_cast<std::size_t>(slot.sender_reason)];
   stats_.bytes_completed += slot.sender->bytes_acked();
+  if (slot.sender_reason == CloseReason::kNormal) {
+    fcts_.push_back(sim_.now() - slot.opened_at);
+  }
   Fold(slot.flow);
   Fold(static_cast<std::uint64_t>(slot.opened_at.picos()));
   Fold(static_cast<std::uint64_t>(sim_.now().picos()));

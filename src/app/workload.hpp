@@ -159,6 +159,10 @@ class ChurnGenerator {
   // awaiting their deferred reclamation event).
   bool AllClosed() const { return active_ == 0; }
   const ChurnStats& stats() const { return stats_; }
+  // Flow completion time (open -> both ends closed) of every cycle whose
+  // sender closed kNormal, in completion order. The short-flow tail
+  // percentiles the recovery benches gate on are computed from this.
+  const std::vector<SimTime>& fcts() const { return fcts_; }
   // Order-sensitive FNV-1a over every completed connection's
   // (flow, open time, close time, close reasons) — the determinism
   // fingerprint the sweep engine's jobs=1 == jobs=N check compares.
@@ -194,6 +198,7 @@ class ChurnGenerator {
   std::uint32_t active_ = 0;
   FlowId next_flow_;
   ChurnStats stats_;
+  std::vector<SimTime> fcts_;
   std::uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
 };
 

@@ -11,9 +11,14 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 #include "trace/tracepoints.hpp"
 
 namespace tdtcp {
+
+// Defined in src/tcp (a layer above); the host only stores the pointer so
+// connections on this host can find their shared recovery agent.
+class RecoveryAgent;
 
 // How the host kernel distributes a freshly received TDN ID to its flows.
 // "Push" loops over established flows one by one (each successive flow sees
@@ -30,9 +35,18 @@ class Host : public PacketSink {
   // reTCPdyn advance notice (circuit coming up shortly).
   using TdnListener = std::function<void(TdnId tdn, bool imminent)>;
 
-  Host(Simulator& sim, NodeId id) : sim_(sim), id_(id) {}
+  Host(Simulator& sim, NodeId id) : sim_(sim), id_(id), wheel_(sim) {}
 
   NodeId id() const { return id_; }
+
+  // Per-host hierarchical timer wheel: every connection's RTO/TLP/persist/
+  // TimeWait timer is an intrusive entry here instead of a heap event.
+  TimerWheel& wheel() { return wheel_; }
+
+  // Host-level shared recovery agent (src/tcp/recovery_agent.hpp), or null.
+  // Connections consult this at construction and register themselves.
+  void SetRecoveryAgent(RecoveryAgent* agent) { recovery_agent_ = agent; }
+  RecoveryAgent* recovery_agent() const { return recovery_agent_; }
 
   void AttachUplink(Link* up) { uplink_ = up; }
 
@@ -95,6 +109,7 @@ class Host : public PacketSink {
   void SetTraceRing(TraceRing* ring) {
     trace_ = ring;
     has_trace_ = ring != nullptr;
+    wheel_.SetTrace(ring, id_);
   }
 
  private:
@@ -108,6 +123,8 @@ class Host : public PacketSink {
 
   Simulator& sim_;
   NodeId id_;
+  TimerWheel wheel_;
+  RecoveryAgent* recovery_agent_ = nullptr;
   Link* uplink_ = nullptr;
   std::unordered_map<FlowId, PacketSink*> endpoints_;
   std::vector<ListenerEntry> tdn_listeners_;

@@ -29,6 +29,10 @@ struct TxSegment {
   bool lost = false;
   bool retrans = false;        // a retransmission is currently in flight
   bool ever_retrans = false;   // Karn: never RTT-sample this segment
+  // The host RecoveryAgent forced this segment's (re)transmission; cleared
+  // when the forcing is resolved (cumulative ACK = rescued, DSACK =
+  // spurious) so each forcing is counted exactly once.
+  bool forced_rtx = false;
   // TDN whose recovery episode retransmitted this segment (DSACK undo
   // credits that TDN's undo_retrans).
   TdnId undo_tdn = 0;

@@ -40,12 +40,20 @@ TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
       tdns_(config_.tdtcp_enabled ? config_.num_tdns : 1,
             ResolveFactory(config_), config_.rtt, config_.initial_cwnd) {
   assert(host_ != nullptr);
+  rto_entry_.Init(this, &RtoTrampoline);
+  tlp_entry_.Init(this, &TlpTrampoline);
+  persist_entry_.Init(this, &PersistTrampoline);
+  time_wait_entry_.Init(this, &TimeWaitTrampoline);
   if (config_.invariant_checks) {
     checker_ = std::make_unique<TcpInvariantChecker>();
   }
   if (config_.register_endpoint) {
     host_->RegisterEndpoint(flow_, this);
     endpoint_registered_ = true;
+  }
+  recovery_agent_ = host_->recovery_agent();
+  if (recovery_agent_ != nullptr) {
+    recovery_agent_->Register(*this, recovery_node_);
   }
   if (config_.listen_tdn_notifications) {
     host_->AddTdnListener(
@@ -58,6 +66,7 @@ TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
 
 TcpConnection::~TcpConnection() {
   CancelTimers();
+  if (recovery_agent_ != nullptr) recovery_agent_->Deregister(recovery_node_);
   if (endpoint_registered_) host_->UnregisterEndpoint(flow_, this);
   if (tdn_listener_registered_) host_->RemoveTdnListener(this);
 }
@@ -395,14 +404,11 @@ void TcpConnection::EnterTimeWait() {
   // empty and no retransmission machinery is needed; only the 2MSL clock and
   // the duty to re-ACK a retransmitted peer FIN remain.
   CancelTimers();
-  time_wait_timer_ = sim_.Schedule(config_.time_wait_duration, [this] {
-    time_wait_timer_ = kInvalidEventId;
-    OnTimeWaitFire();
-  });
+  const SimTime deadline = host_->wheel().Arm(
+      time_wait_entry_, sim_.now() + config_.time_wait_duration);
   Trace(TracePoint::kTcpTimerArm,
         static_cast<std::uint64_t>(TraceTimer::kTimeWait),
-        static_cast<std::uint64_t>(
-            (sim_.now() + config_.time_wait_duration).picos()));
+        static_cast<std::uint64_t>(deadline.picos()));
 }
 
 void TcpConnection::OnTimeWaitFire() {
@@ -436,6 +442,15 @@ void TcpConnection::ToClosed(CloseReason reason) {
   unlimited_data_ = false;
   dupack_count_ = 0;
   CancelTimers();
+  // Every path into kClosed funnels through here; the wheel's idempotent
+  // disarm makes CancelTimers safe to repeat, and after it no timer may
+  // survive to fire into a dead connection (the old EventId scheme only got
+  // this right by luck of kInvalidEventId checks on some abort paths).
+  assert(!rto_entry_.armed() && !tlp_entry_.armed() &&
+         !persist_entry_.armed() && !time_wait_entry_.armed() &&
+         "ToClosed left a wheel timer armed");
+  assert(pace_timer_ == kInvalidEventId && "ToClosed left the pace timer");
+  if (recovery_agent_ != nullptr) recovery_agent_->Deregister(recovery_node_);
   SetState(State::kClosed);
   close_reason_ = reason;
   if (endpoint_registered_) {
@@ -794,8 +809,7 @@ void TcpConnection::OnAckPacket(const Packet& p) {
   if (on_dss_ack_ && p.has_dss) on_dss_ack_(p.dss_ack, p.dss_rwnd);
   if (p.has_rwnd) {
     peer_rwnd_ = p.rcv_window;  // zero means flow-control stall
-    if (peer_rwnd_ > 0 && (persist_timer_ != kInvalidEventId ||
-                           persist_probing_)) {
+    if (peer_rwnd_ > 0 && (persist_entry_.armed() || persist_probing_)) {
       // The window reopened: leave persist mode. MaybeSend (below, on every
       // ACK path including the stale-ACK one) resumes normal transmission.
       // persist_probing_ can outlive the timer (it lapses once the probe is
@@ -851,6 +865,9 @@ void TcpConnection::OnAckPacket(const Packet& p) {
     // exponential RTO backoff.
     if (acked_fresh_data) rto_backoff_ = 0;
     tlp_in_flight_ = false;
+    // Cumulative advance = forward progress: reset the recovery agent's
+    // quiet clock for this connection.
+    if (recovery_agent_ != nullptr) recovery_agent_->NoteProgress(recovery_node_);
   } else if (p.ack == snd_una_ && p.payload == 0 && newly_sacked == 0) {
     ++dupack_count_;
     if (!config_.sack_enabled) {
@@ -952,9 +969,25 @@ void TcpConnection::ProcessDsack(const SackBlock& block) {
   // the credit).
   TxSegment* seg = send_queue_.Find(block.start);
   if (seg != nullptr && seg->ever_retrans) {
+    // The DSACK disproves an agent forcing exactly once: clear the flag so a
+    // second duplicate report cannot double-count.
+    if (seg->forced_rtx) {
+      seg->forced_rtx = false;
+      CountSpuriousForcing();
+    }
     TdnState& st = tdns_.state(seg->undo_tdn);
     if (st.undo_retrans > 0) st.undo_retrans--;
     return;
+  }
+  // Retired forced segment: the original's (delayed) cumulative ACK beat the
+  // DSACK. The range record is erased on match, keeping the count
+  // exactly-once per forcing.
+  for (auto it = forced_retired_.begin(); it != forced_retired_.end(); ++it) {
+    if (block.start >= it->first && block.start < it->second) {
+      forced_retired_.erase(it);
+      CountSpuriousForcing();
+      break;
+    }
   }
   // Segment already cumulatively acked: credit the TDN whose recovery
   // episode actually covered this sequence range. A bare "first armed undo
@@ -990,6 +1023,17 @@ bool TcpConnection::ProcessCumulativeAck(const Packet& p, TdnId trigger_tdn) {
     }
     // An acked never-retransmitted FIN proves path liveness just like data.
     if (!seg.syn && !seg.ever_retrans) acked_fresh_data = true;
+    // An agent-forced segment finally cumulatively acked is a rescue. Keep
+    // its range around so a late DSACK (duplicate arriving after the
+    // original's delayed ACK) can still reclassify the forcing as spurious.
+    if (seg.forced_rtx) {
+      ++stats_.recovery_rescued;
+      if (recovery_agent_ != nullptr) recovery_agent_->NoteRescued();
+      if (forced_retired_.size() >= kMaxForcedRetired) {
+        forced_retired_.erase(forced_retired_.begin());
+      }
+      forced_retired_.emplace_back(seg.seq, seg.end_seq());
+    }
     Trace(TracePoint::kTcpSackEdit,
           static_cast<std::uint64_t>(TraceSackEdit::kAcked), seg.seq, seg.len,
           seg.tdn);
@@ -1464,7 +1508,7 @@ void TcpConnection::SendNewSegment(std::uint32_t len_cap) {
   snd_nxt_ += len;
 
   TransmitSegment(send_queue_.segments().back(), /*is_retransmission=*/false);
-  if (rto_timer_ == kInvalidEventId) ArmRto();
+  if (!rto_entry_.armed()) ArmRto();
 }
 
 void TcpConnection::MaybeSendFin() {
@@ -1505,7 +1549,7 @@ void TcpConnection::MaybeSendFin() {
   snd_nxt_ += 1;
   ++stats_.fins_sent;
   TransmitSegment(send_queue_.segments().back(), /*is_retransmission=*/false);
-  if (rto_timer_ == kInvalidEventId) ArmRto();
+  if (!rto_entry_.armed()) ArmRto();
 }
 
 bool TcpConnection::RetransmitOneLost() {
@@ -1597,19 +1641,15 @@ SimTime TcpConnection::RtoForSegment(const TxSegment& seg) const {
 }
 
 void TcpConnection::ArmRto() {
-  if (rto_timer_ != kInvalidEventId) {
-    sim_.Cancel(rto_timer_);
-    rto_timer_ = kInvalidEventId;
-  }
+  host_->wheel().Disarm(rto_entry_);
   if (send_queue_.Empty()) return;
   const TxSegment& head = send_queue_.front();
   SimTime deadline =
       head.last_sent + RtoForSegment(head) * (std::int64_t{1} << rto_backoff_);
   if (deadline <= sim_.now()) deadline = sim_.now() + SimTime::Nanos(1);
-  rto_timer_ = sim_.ScheduleAt(deadline, [this] {
-    rto_timer_ = kInvalidEventId;
-    OnRtoFire();
-  });
+  // The wheel quantizes deadlines up to its tick; trace the actual fire time
+  // so trace-replay sees the time the callback really runs at.
+  deadline = host_->wheel().Arm(rto_entry_, deadline);
   Trace(TracePoint::kTcpTimerArm,
         static_cast<std::uint64_t>(TraceTimer::kRto),
         static_cast<std::uint64_t>(deadline.picos()));
@@ -1632,9 +1672,8 @@ void TcpConnection::OnRtoFire() {
   // The timeout supersedes any pending tail-loss probe: recovery now belongs
   // to the RTO machinery. A TLP left armed here would fire mid-Loss and
   // inject a stray retransmission into the carefully reduced pipe.
-  if (tlp_timer_ != kInvalidEventId) {
-    sim_.Cancel(tlp_timer_);
-    tlp_timer_ = kInvalidEventId;
+  if (tlp_entry_.armed()) {
+    host_->wheel().Disarm(tlp_entry_);
     Trace(TracePoint::kTcpTimerCancel,
           static_cast<std::uint64_t>(TraceTimer::kTlp));
   }
@@ -1728,23 +1767,17 @@ void TcpConnection::OnRtoFire() {
 }
 
 void TcpConnection::ArmTlp() {
-  if (tlp_timer_ != kInvalidEventId) {
-    sim_.Cancel(tlp_timer_);
-    tlp_timer_ = kInvalidEventId;
-  }
+  host_->wheel().Disarm(tlp_entry_);
   if (!config_.tlp_enabled || tlp_in_flight_) return;
   if (send_queue_.Empty()) return;
   if (tdns_.AnyRetransmitPending()) return;  // RTO/recovery owns the clock
   const RttEstimator& rtt = tdns_.active().rtt;
   SimTime pto = rtt.has_sample() ? rtt.srtt() * 2 : config_.rtt.initial_rto;
   pto = std::max(pto, SimTime::Micros(300));
-  tlp_timer_ = sim_.Schedule(pto, [this] {
-    tlp_timer_ = kInvalidEventId;
-    OnTlpFire();
-  });
+  const SimTime deadline = host_->wheel().Arm(tlp_entry_, sim_.now() + pto);
   Trace(TracePoint::kTcpTimerArm,
         static_cast<std::uint64_t>(TraceTimer::kTlp),
-        static_cast<std::uint64_t>((sim_.now() + pto).picos()));
+        static_cast<std::uint64_t>(deadline.picos()));
 }
 
 void TcpConnection::OnTlpFire() {
@@ -1787,7 +1820,7 @@ void TcpConnection::OnTlpFire() {
 
 void TcpConnection::ArmPersist() {
   if (state_ != State::kEstablished && state_ != State::kCloseWait) return;
-  if (persist_timer_ != kInvalidEventId) return;
+  if (persist_entry_.armed()) return;
   // Exponential backoff from the active TDN's RTO, capped like the RTO
   // itself (RFC 9293 recommends the same clamped doubling). Only the shift
   // is capped: persist_backoff_ keeps counting toward the give-up limit.
@@ -1795,21 +1828,18 @@ void TcpConnection::ArmPersist() {
       tdns_.RtoFor(ActiveTdn(), tdtcp_active_ && config_.synthesized_rto) *
       (std::int64_t{1} << std::min(persist_backoff_, 8u));
   interval = std::min(interval, config_.rtt.max_rto);
-  persist_timer_ = sim_.Schedule(interval, [this] {
-    persist_timer_ = kInvalidEventId;
-    OnPersistFire();
-  });
+  const SimTime deadline =
+      host_->wheel().Arm(persist_entry_, sim_.now() + interval);
   Trace(TracePoint::kTcpTimerArm,
         static_cast<std::uint64_t>(TraceTimer::kPersist),
-        static_cast<std::uint64_t>((sim_.now() + interval).picos()));
+        static_cast<std::uint64_t>(deadline.picos()));
 }
 
 void TcpConnection::CancelPersist() {
   persist_backoff_ = 0;
   persist_probing_ = false;
-  if (persist_timer_ == kInvalidEventId) return;
-  sim_.Cancel(persist_timer_);
-  persist_timer_ = kInvalidEventId;
+  if (!persist_entry_.armed()) return;
+  host_->wheel().Disarm(persist_entry_);
   Trace(TracePoint::kTcpTimerCancel,
         static_cast<std::uint64_t>(TraceTimer::kPersist));
 }
@@ -1845,28 +1875,98 @@ void TcpConnection::OnPersistFire() {
 }
 
 void TcpConnection::CancelTimers() {
-  if (rto_timer_ != kInvalidEventId) {
-    sim_.Cancel(rto_timer_);
-    rto_timer_ = kInvalidEventId;
-  }
-  if (tlp_timer_ != kInvalidEventId) {
-    sim_.Cancel(tlp_timer_);
-    tlp_timer_ = kInvalidEventId;
-  }
+  // Wheel disarm is idempotent, so this is safe to repeat (double close).
+  TimerWheel& wheel = host_->wheel();
+  wheel.Disarm(rto_entry_);
+  wheel.Disarm(tlp_entry_);
   if (pace_timer_ != kInvalidEventId) {
     sim_.Cancel(pace_timer_);
     pace_timer_ = kInvalidEventId;
   }
-  if (persist_timer_ != kInvalidEventId) {
-    sim_.Cancel(persist_timer_);
-    persist_timer_ = kInvalidEventId;
-  }
+  wheel.Disarm(persist_entry_);
   persist_backoff_ = 0;
   persist_probing_ = false;
-  if (time_wait_timer_ != kInvalidEventId) {
-    sim_.Cancel(time_wait_timer_);
-    time_wait_timer_ = kInvalidEventId;
+  wheel.Disarm(time_wait_entry_);
+}
+
+// ---------------------------------------------------------------------------
+// Host recovery agent hooks
+// ---------------------------------------------------------------------------
+
+void TcpConnection::CountSpuriousForcing() {
+  ++stats_.recovery_spurious;
+  if (recovery_agent_ != nullptr) recovery_agent_->NoteSpurious();
+}
+
+bool TcpConnection::RecoveryOutstanding() const {
+  // Only synchronized, transmit-capable states qualify: the handshake has
+  // its own retry ladder and TimeWait/Closed have nothing to rescue.
+  if (!CanTransmit()) return false;
+  // A zero-window stall is flow control, not loss; the persist machinery
+  // owns that clock and a forced retransmit would just burn a probe.
+  if (persist_probing_) return false;
+  return !send_queue_.Empty() && snd_nxt_ > snd_una_;
+}
+
+SimTime TcpConnection::RecoveryRttHint() const {
+  // Pessimistic like the synthesized RTO (§4.4): the agent cannot know which
+  // TDN the rescue's ACK will return on, so the quiet threshold scales with
+  // the slowest measured path.
+  SimTime hint = SimTime::Zero();
+  for (std::size_t i = 0; i < tdns_.num_tdns(); ++i) {
+    const RttEstimator& rtt = tdns_.state(static_cast<TdnId>(i)).rtt;
+    if (rtt.has_sample() && rtt.srtt() > hint) hint = rtt.srtt();
   }
+  if (hint == SimTime::Zero()) hint = config_.rtt.initial_rto;
+  return hint;
+}
+
+bool TcpConnection::ForceRecoveryRetransmit(SimTime quiet, SimTime threshold) {
+  if (!RecoveryOutstanding()) return false;
+  // The oldest unacked segment is the queue head. A SYN keeps its own retry
+  // ladder (forcing would bypass the handshake caps); a SACKed head was
+  // delivered and its cumulative ACK is presumably in flight; a head with a
+  // retransmission outstanding already has its rescue in the pipe.
+  TxSegment& head = send_queue_.front();
+  if (head.syn || head.sacked || head.retrans) return false;
+
+  // The forcing is a loss signal for the head's TDN: arm that TDN's undo
+  // bookkeeping (undo_marker/undo_retrans) by entering Recovery, so a later
+  // DSACK proving the forcing spurious undoes cwnd on the right TDN.
+  TdnState& st = tdns_.state(head.tdn);
+  const CaState prev_ca = st.ca_state;
+  const std::uint32_t prev_cwnd = st.cwnd;
+  const std::uint32_t prev_ssthresh = st.ssthresh;
+  if (st.ca_state == CaState::kOpen || st.ca_state == CaState::kDisorder) {
+    EnterRecovery(st);
+  }
+  if (!head.lost) MarkSegmentLost(head);
+  if (has_trace_) {
+    if (st.ca_state != prev_ca) {
+      Trace(TracePoint::kTcpCaStateChange, st.id,
+            static_cast<std::uint64_t>(prev_ca),
+            static_cast<std::uint64_t>(st.ca_state));
+    }
+    if (st.cwnd != prev_cwnd || st.ssthresh != prev_ssthresh) {
+      Trace(TracePoint::kTcpCwndUpdate, st.id, st.cwnd, st.ssthresh);
+    }
+  }
+  // The head is now the first lost-without-rtx segment, so RetransmitOneLost
+  // sends exactly it — through the normal episode pinning (undo_tdn,
+  // ever_retrans for Karn) and per-TDN accounting, outside the cwnd-limited
+  // transmit loop like an RTO's unconditional head retransmission.
+  if (!RetransmitOneLost()) return false;
+  head.forced_rtx = true;
+  ++stats_.recovery_forced;
+  Trace(TracePoint::kRecoveryForced, head.seq,
+        static_cast<std::uint64_t>(head.undo_tdn),
+        static_cast<std::uint64_t>(quiet.picos()),
+        static_cast<std::uint64_t>(threshold.picos()));
+  // Re-arm from the fresh transmission WITHOUT bumping rto_backoff_: the
+  // agent, not the exponential ladder, paces recovery for quiet flows.
+  ArmRto();
+  RunChecker(TcpInvariantChecker::Event::kLoss);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

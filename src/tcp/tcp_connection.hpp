@@ -26,7 +26,9 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 #include "tcp/invariant_checker.hpp"
+#include "tcp/recovery_agent.hpp"
 #include "tcp/receive_buffer.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "tcp/send_queue.hpp"
@@ -157,6 +159,10 @@ struct TcpStats {
   std::uint64_t rsts_sent = 0;
   std::uint64_t rsts_received = 0;
   std::uint64_t synack_give_ups = 0;       // SYN-ACK cap hit, back to kListen
+  // Host recovery agent (tcp/recovery_agent.hpp) interactions on this flow.
+  std::uint64_t recovery_forced = 0;    // agent-forced early retransmits
+  std::uint64_t recovery_rescued = 0;   // forced rtx later cumulatively acked
+  std::uint64_t recovery_spurious = 0;  // forced rtx disproved by DSACK
 };
 
 class TcpConnection : public PacketSink {
@@ -289,7 +295,7 @@ class TcpConnection : public PacketSink {
   const SendQueue& send_queue() const { return send_queue_; }
   FlowId flow() const { return flow_; }
   std::uint32_t rto_backoff() const { return rto_backoff_; }
-  bool persist_timer_armed() const { return persist_timer_ != kInvalidEventId; }
+  bool persist_timer_armed() const { return persist_entry_.armed(); }
   // Our FIN is on the wire: no further stream bytes (AddMappedData refuses),
   // so MPTCP failover must not pick this subflow as a reinjection target.
   bool fin_sent() const { return fin_sent_; }
@@ -302,7 +308,25 @@ class TcpConnection : public PacketSink {
   // the send buffer of a subflow whose path went away).
   std::vector<DssRange> PendingDssRanges() const;
 
+  // --- host recovery agent hooks (tcp/recovery_agent.hpp) --------------------
+  // Unacked data is on the wire and the connection is in a state the agent
+  // may act on (synchronized, not persist-probing a zero window).
+  bool RecoveryOutstanding() const;
+  // Pessimistic RTT estimate for the agent's adaptive quiet threshold: the
+  // slowest per-TDN sRTT, or the configured initial RTO before any sample.
+  SimTime RecoveryRttHint() const;
+  // Forces an early retransmit of the oldest unacked (un-SACKed) segment
+  // through the ordinary scoreboard machinery — Karn-safe, per-TDN episode
+  // accounting intact — and re-arms the RTO from the fresh transmission
+  // WITHOUT bumping the exponential backoff. Returns false when nothing is
+  // eligible (handshake, retransmission already in flight, FIN-less empty
+  // queue). `quiet`/`threshold` only annotate the tracepoint.
+  bool ForceRecoveryRetransmit(SimTime quiet, SimTime threshold);
+
  private:
+  // Counts a DSACK-disproved forcing (stats + agent threshold adaptation).
+  void CountSpuriousForcing();
+
   struct PendingChunk {
     std::uint64_t bytes;
     bool has_dss;
@@ -474,18 +498,44 @@ class TcpConnection : public PacketSink {
   TdnId ece_target_tdn_ = 0;
 
   // --- timers ---------------------------------------------------------------------
-  EventId rto_timer_ = kInvalidEventId;
-  EventId tlp_timer_ = kInvalidEventId;
+  // RTO/TLP/persist/TimeWait live on the host's hierarchical timer wheel as
+  // intrusive entries (zero steady-state allocation, O(1) rearm); only the
+  // pace timer — fine-grained, sub-tick spacing — stays on the event heap.
+  // The wheel auto-disarms an entry before invoking its trampoline, so the
+  // `armed()` predicates match the old "EventId cleared in the lambda" flow.
+  static void RtoTrampoline(void* c) {
+    static_cast<TcpConnection*>(c)->OnRtoFire();
+  }
+  static void TlpTrampoline(void* c) {
+    static_cast<TcpConnection*>(c)->OnTlpFire();
+  }
+  static void PersistTrampoline(void* c) {
+    static_cast<TcpConnection*>(c)->OnPersistFire();
+  }
+  static void TimeWaitTrampoline(void* c) {
+    static_cast<TcpConnection*>(c)->OnTimeWaitFire();
+  }
+  TimerWheel::Timer rto_entry_;
+  TimerWheel::Timer tlp_entry_;
   std::uint32_t rto_backoff_ = 0;
   bool tlp_in_flight_ = false;
-  EventId persist_timer_ = kInvalidEventId;
+  TimerWheel::Timer persist_entry_;
   std::uint32_t persist_backoff_ = 0;
   // True while the outstanding data is an unanswered zero-window probe.
   // Retransmissions of the probe ride the RTO timer, so the RTO give-up
   // path consults this to report the abort as kPersistTimeout (and to cap
   // it at max_persist_retries) instead of kRetryLimit.
   bool persist_probing_ = false;
-  EventId time_wait_timer_ = kInvalidEventId;
+  TimerWheel::Timer time_wait_entry_;
+
+  // --- host recovery agent ---------------------------------------------------
+  RecoveryAgent* recovery_agent_ = nullptr;  // host's agent at construction
+  RecoveryAgent::Node recovery_node_;
+  // [seq, end_seq) of forced segments already retired by a cumulative ACK,
+  // so a late DSACK can still reclassify the forcing as spurious. Bounded;
+  // oldest entries are dropped.
+  static constexpr std::size_t kMaxForcedRetired = 64;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> forced_retired_;
 
   // --- teardown state ------------------------------------------------------------
   CloseReason close_reason_ = CloseReason::kNone;

@@ -24,6 +24,8 @@ const char* TracePointName(TracePoint p) {
     case TracePoint::kTcpRstIn: return "tcp_rst_in";
     case TracePoint::kTcpFinRx: return "tcp_fin_rx";
     case TracePoint::kHostNicState: return "host_nic_state";
+    case TracePoint::kRecoveryForced: return "recovery_forced";
+    case TracePoint::kWheelCascade: return "wheel_cascade";
   }
   return "unknown";
 }

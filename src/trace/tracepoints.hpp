@@ -57,6 +57,9 @@ enum class TracePoint : std::uint32_t {
   kTcpFinRx = 18,         // peer FIN consumed in order: a0=fin seq
   // Host NIC state (FaultKind::kHostDown windows).
   kHostNicState = 19,     // a0=enabled (0/1), a3=host NodeId
+  // Host recovery agent + timer wheel.
+  kRecoveryForced = 20,   // a0=seq, a1=tdn, a2=quiet ps, a3=threshold ps
+  kWheelCascade = 21,     // a0=level, a1=slot, a2=entries moved, a3=host NodeId
 };
 
 // Timer identity for kTcpTimer{Arm,Cancel,Fire}.

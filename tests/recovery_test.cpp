@@ -1,0 +1,325 @@
+// The host-level shared recovery agent (tcp/recovery_agent.hpp): forced
+// early retransmits rescue quiet flows before the backed-off RTO, spurious
+// forcings are disproved by DSACK exactly once and undo cwnd on the TDN
+// that entered the episode, double close leaves no timer armed and no
+// registration leaked, and a churned experiment with the agent on stays
+// bit-identical across runs and thread pools.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "app/experiment.hpp"
+#include "app/sweep.hpp"
+#include "cc/registry.hpp"
+#include "tcp/recovery_agent.hpp"
+#include "tcp/tcp_connection.hpp"
+#include "test_util.hpp"
+
+namespace tdtcp {
+namespace {
+
+using test::LoopbackHarness;
+
+// RACK/TLP off: the agent's target population is flows whose only other
+// recovery is the RTO, and the assertions below want no probe traffic
+// muddying the retransmission counts.
+TcpConfig RtoOnlyConfig() {
+  TcpConfig c;
+  c.mss = 1000;
+  c.cc_factory = MakeCcFactory("reno");
+  c.rack_enabled = false;
+  c.tlp_enabled = false;
+  return c;
+}
+
+TcpConfig RtoOnlyTdtcpConfig() {
+  TcpConfig c = RtoOnlyConfig();
+  c.tdtcp_enabled = true;
+  c.num_tdns = 2;
+  return c;
+}
+
+// Tight thresholds so tests force within a few hundred microseconds: scan
+// every 50us, call a flow quiet after 100us. The RTO floor is 500us
+// (rtt_estimator.hpp), so the agent demonstrably beats it.
+RecoveryConfig TestAgentConfig() {
+  RecoveryConfig rc;
+  rc.epoch = SimTime::Micros(50);
+  rc.min_linger = SimTime::Micros(100);
+  rc.max_linger = SimTime::Millis(1);
+  return rc;
+}
+
+// Agent constructed before the connection (registration happens in the
+// TcpConnection constructor via Host::recovery_agent()) and destroyed
+// after it (teardown deregisters from the live agent).
+struct AgentFixture {
+  explicit AgentFixture(TcpConfig config = RtoOnlyConfig(),
+                        RecoveryConfig rc = TestAgentConfig())
+      : harness(sim), agent(sim, harness.host, rc),
+        conn(sim, &harness.host, 1, 99, config) {
+    conn.Connect();
+    harness.Settle();
+    Packet syn = harness.out.Pop();
+    conn.HandlePacket(LoopbackHarness::SynAckFor(
+        syn, conn.config().tdtcp_enabled, conn.config().num_tdns));
+    harness.Settle();
+    harness.out.packets.clear();
+    EXPECT_EQ(conn.state(), TcpConnection::State::kEstablished);
+    // One acked segment primes the RTT estimator (the loopback handshake
+    // yields no sample, and an unsampled connection's quiet threshold is
+    // pessimistically RTO-sized — correct, but not what these tests probe).
+    conn.AddAppData(1000);
+    harness.Settle();
+    sim.RunUntil(sim.now() + SimTime::Micros(20));
+    conn.HandlePacket(LoopbackHarness::Ack(
+        1, 1001, {}, conn.config().tdtcp_enabled ? TdnId{0} : kNoTdn));
+    harness.Settle();
+    harness.out.packets.clear();
+    EXPECT_EQ(conn.stats().retransmissions, 0u);
+  }
+
+  Simulator sim;
+  LoopbackHarness harness;
+  RecoveryAgent agent;
+  TcpConnection conn;
+};
+
+// ---------------------------------------------------------------------------
+// Mode names
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryMode, NamesRoundTripAndRejectGarbage) {
+  for (const RecoveryMode m :
+       {RecoveryMode::kOff, RecoveryMode::kRack, RecoveryMode::kAgent}) {
+    EXPECT_EQ(RecoveryModeFromName(RecoveryModeName(m)), m);
+  }
+  EXPECT_THROW(RecoveryModeFromName("agressive"), std::invalid_argument);
+  EXPECT_THROW(RecoveryModeFromName(""), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Forcing and rescue
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryAgent, ForcesQuietFlowBeforeRtoAndCountsTheRescue) {
+  AgentFixture f;
+  f.conn.AddAppData(1000);
+  f.harness.Settle();
+  ASSERT_EQ(f.conn.stats().recovery_forced, 0u);
+
+  // The single segment's ACK never comes. The agent's 100us threshold lands
+  // well before the 500us RTO floor — and exactly once, because a rescue
+  // already in flight (head.retrans) is never re-forced.
+  f.sim.RunUntil(SimTime::Micros(450));
+  EXPECT_EQ(f.conn.stats().recovery_forced, 1u);
+  EXPECT_EQ(f.agent.stats().forced, 1u);
+  EXPECT_GE(f.conn.stats().retransmissions, 1u);
+  EXPECT_EQ(f.conn.stats().timeouts, 0u);
+  EXPECT_GT(f.agent.stats().epochs, 1u);
+
+  // The cumulative ACK retires the forced segment: a rescue, not spurious.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001));
+  EXPECT_EQ(f.conn.stats().recovery_rescued, 1u);
+  EXPECT_EQ(f.agent.stats().rescued, 1u);
+  EXPECT_EQ(f.conn.stats().recovery_spurious, 0u);
+
+  // The forced retransmit re-armed the RTO without the exponential bump:
+  // nothing fires into the now-clean connection.
+  f.sim.RunUntil(SimTime::Millis(3));
+  EXPECT_EQ(f.conn.stats().timeouts, 0u);
+}
+
+TEST(RecoveryAgent, IdleConnectionIsNeverForced) {
+  AgentFixture f;
+  // Established but nothing outstanding: the quiet clock must not run.
+  f.sim.RunUntil(SimTime::Millis(2));
+  EXPECT_GT(f.agent.stats().epochs, 10u);
+  EXPECT_EQ(f.agent.stats().forced, 0u);
+  EXPECT_EQ(f.conn.stats().retransmissions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Spurious forcing: DSACK disproof, exactly-once, right-TDN undo
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryAgent, SpuriousForcingUndoesTheEnteringTdnExactlyOnce) {
+  AgentFixture f(RtoOnlyTdtcpConfig());
+  f.conn.AddAppData(5000);
+  f.harness.Settle();  // 5 TDN-0 segments in flight, seq 1001..6001
+  const auto cwnd0_before = f.conn.tdns().state(0).cwnd;
+
+  // The ACKs are merely delayed; the agent forces the head on TDN 0.
+  f.sim.RunUntil(SimTime::Micros(200));
+  ASSERT_EQ(f.conn.stats().recovery_forced, 1u);
+  EXPECT_EQ(f.conn.tdns().state(0).ca_state, CaState::kRecovery);
+  EXPECT_LE(f.conn.tdns().state(0).cwnd, cwnd0_before);
+
+  // Mid-episode the fabric rotates to TDN 1 (through the host notification
+  // path), so proof time and episode time disagree about the active TDN.
+  Packet notify;
+  notify.type = PacketType::kTdnNotify;
+  notify.notify_tdn = 1;
+  notify.notify_seq = 1;
+  f.harness.host.HandlePacket(std::move(notify));
+  f.harness.Settle();
+  ASSERT_EQ(f.conn.tdns().active_id(), 1);
+
+  // The delayed original of the forced head arrives: the cumulative ACK
+  // retires it (a rescue so far) while the rest of the window — and with it
+  // the recovery episode on TDN 0 — stays open.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001, {}, 0));
+  EXPECT_EQ(f.conn.stats().recovery_rescued, 1u);
+  // ...then the forced copy lands as a duplicate: the receiver's DSACK
+  // disproves the forcing even though the segment left the send queue.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001, {{1001, 2001}}, 0));
+  EXPECT_EQ(f.conn.stats().recovery_spurious, 1u);
+  EXPECT_EQ(f.agent.stats().spurious, 1u);
+  EXPECT_GT(f.agent.scale(), 1.0);
+
+  // The undo credited TDN 0 — the episode's TDN, not the active one.
+  EXPECT_GE(f.conn.stats().undo_events, 1u);
+  EXPECT_GE(f.conn.tdns().state(0).cwnd, cwnd0_before);
+  EXPECT_NE(f.conn.tdns().state(0).ca_state, CaState::kRecovery);
+
+  // A re-delivered DSACK for the same range must not double-count.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 2001, {{1001, 2001}}, 0));
+  EXPECT_EQ(f.conn.stats().recovery_spurious, 1u);
+  EXPECT_EQ(f.agent.stats().spurious, 1u);
+}
+
+TEST(RecoveryAgent, DsackRidingTheRetiringAckCountsSpuriousOnce) {
+  // The other arm of the race: the DSACK arrives in the same packet as the
+  // cumulative ACK that retires the forced segment. SACK processing runs
+  // first, finds the segment still queued, and resolves the forcing as
+  // spurious before retirement can also call it a rescue.
+  AgentFixture f;
+  f.conn.AddAppData(3000);
+  f.harness.Settle();
+  f.sim.RunUntil(SimTime::Micros(200));
+  ASSERT_EQ(f.conn.stats().recovery_forced, 1u);
+
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 4001, {{1001, 2001}}));
+  EXPECT_EQ(f.conn.stats().recovery_spurious, 1u);
+  EXPECT_EQ(f.conn.stats().recovery_rescued, 0u);
+  // And replaying the DSACK afterwards still cannot double-count.
+  f.conn.HandlePacket(LoopbackHarness::Ack(1, 4001, {{1001, 2001}}));
+  EXPECT_EQ(f.conn.stats().recovery_spurious, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown: double close, timer audit, registration accounting
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryAgent, DoubleCloseLeavesNoTimerArmedAndNoRegistration) {
+  AgentFixture f;
+  f.conn.AddAppData(2000);
+  f.harness.Settle();  // data in flight: RTO armed, agent watching
+  EXPECT_EQ(f.agent.registered(), 1u);
+  ASSERT_GT(f.harness.host.wheel().armed_count(), 1u);
+
+  f.conn.Abort();
+  EXPECT_EQ(f.conn.state(), TcpConnection::State::kClosed);
+  EXPECT_EQ(f.agent.registered(), 0u);
+  // ToClosed's audit: all four connection timers left the wheel; the only
+  // survivor is the agent's own epoch timer.
+  EXPECT_EQ(f.harness.host.wheel().armed_count(), 1u);
+
+  // Close and abort again: every path re-runs CancelTimers, whose wheel
+  // disarms are idempotent — the old EventId scheme needed luck here.
+  f.conn.Close();
+  f.conn.Abort();
+  EXPECT_EQ(f.conn.state(), TcpConnection::State::kClosed);
+  EXPECT_EQ(f.agent.registered(), 0u);
+  EXPECT_EQ(f.harness.host.wheel().armed_count(), 1u);
+
+  // Nothing fires into the dead connection.
+  const auto timeouts = f.conn.stats().timeouts;
+  f.sim.RunUntil(f.sim.now() + SimTime::Millis(3));
+  EXPECT_EQ(f.conn.stats().timeouts, timeouts);
+  EXPECT_EQ(f.agent.stats().forced, 0u);
+}
+
+TEST(RecoveryAgent, AgentDeathOrphansRegistrationsSafely) {
+  // The experiment teardown order in reverse: agent destroyed while a
+  // connection is still live; its later close must not touch freed memory.
+  Simulator sim;
+  LoopbackHarness harness(sim);
+  auto agent = std::make_unique<RecoveryAgent>(sim, harness.host,
+                                               TestAgentConfig());
+  TcpConnection conn(sim, &harness.host, 1, 99, RtoOnlyConfig());
+  EXPECT_EQ(agent->registered(), 1u);
+  agent.reset();
+  EXPECT_EQ(harness.host.recovery_agent(), nullptr);
+  conn.Abort();  // Deregister on an orphaned node: no-op
+  EXPECT_EQ(conn.state(), TcpConnection::State::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment integration: determinism and stat plumbing
+// ---------------------------------------------------------------------------
+
+ExperimentConfig AgentChurnConfig() {
+  ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                             .WithFlows(2)
+                             .WithDuration(SimTime::Millis(25))
+                             .WithWarmup(SimTime::Millis(2))
+                             .WithSampling(false, false)
+                             .WithSeed(11)
+                             .WithRecovery(RecoveryMode::kAgent);
+  ChurnConfig cc;
+  cc.target_connections = 300;
+  cc.mean_interarrival = SimTime::Micros(40);
+  cc.min_transfer_bytes = 8940;
+  cc.max_transfer_bytes = 4 * 8940;
+  cc.max_concurrent = 24;
+  cfg.WithChurnConfig(cc);
+  // Burst loss so the agent has actual tails to rescue.
+  FaultPlan plan;
+  plan.fabric.gilbert_elliott = true;
+  plan.fabric.ge_p_good_to_bad = 0.002;
+  plan.fabric.ge_p_bad_to_good = 0.2;
+  cfg.WithFault(plan);
+  return cfg;
+}
+
+TEST(RecoveryExperiment, AgentChurnIsBitIdenticalAcrossRunsAndJobs) {
+  const ExperimentConfig cfg = AgentChurnConfig();
+  const ExperimentResult solo = RunExperiment(cfg);
+  // The agent actually engaged, and the stats flowed out of the hosts.
+  EXPECT_GT(solo.churn.opened, 0u);
+  EXPECT_GT(solo.recovery_forced, 0u);
+  EXPECT_NE(solo.churn_hash, 0u);
+
+  std::vector<ExperimentResult> pooled(2);
+  ParallelFor(2, 2, [&](std::size_t i) { pooled[i] = RunExperiment(cfg); });
+  for (const ExperimentResult& r : pooled) {
+    EXPECT_EQ(r.churn_hash, solo.churn_hash);
+    EXPECT_EQ(r.recovery_forced, solo.recovery_forced);
+    EXPECT_EQ(r.recovery_rescued, solo.recovery_rescued);
+    EXPECT_EQ(r.recovery_spurious, solo.recovery_spurious);
+    EXPECT_EQ(r.total_bytes, solo.total_bytes);
+    EXPECT_EQ(r.churn.opened, solo.churn.opened);
+    EXPECT_EQ(r.churn.closed, solo.churn.closed);
+  }
+}
+
+TEST(RecoveryExperiment, OffModeDisablesRackAndTlp) {
+  // kOff strips RACK/TLP from the effective workload config: with burst
+  // loss, pure-RTO recovery shows strictly more timeouts than the default
+  // stack on the identical deterministic run.
+  ExperimentConfig off = AgentChurnConfig();
+  off.recovery = RecoveryMode::kOff;
+  ExperimentConfig rack = AgentChurnConfig();
+  rack.recovery = RecoveryMode::kRack;
+  const ExperimentResult r_off = RunExperiment(off);
+  const ExperimentResult r_rack = RunExperiment(rack);
+  EXPECT_GT(r_off.timeouts, r_rack.timeouts);
+  // No agents planted in either mode.
+  EXPECT_EQ(r_off.recovery_forced, 0u);
+  EXPECT_EQ(r_rack.recovery_forced, 0u);
+}
+
+}  // namespace
+}  // namespace tdtcp

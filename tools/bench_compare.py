@@ -10,10 +10,13 @@ candidate/baseline ratio, and exits nonzero if any benchmark present in both
 documents regressed by more than --max-regress (default 15%, measured on
 items/sec when available, cpu time otherwise).
 
-With --metric=NAME the comparison runs on counters[NAME] instead (e.g.
-fct_p99_us or voq_drops from bench_incast). Counters are treated as
-lower-is-better: the candidate regresses when its value grows by more than
---max-regress over the baseline's. Runs lacking the counter are skipped.
+With --metric=NAME[,NAME...] the comparison runs on counters[NAME] instead
+(e.g. fct_p99_us or voq_drops from bench_incast). A comma-separated list
+gates every named counter — the way to hold a tail, not just a mean: pass
+fct_p50_us,fct_p99_us,fct_p999_us and a candidate that keeps the median but
+blows up the p99.9 still fails. Counters are treated as lower-is-better:
+the candidate regresses when its value grows by more than --max-regress
+over the baseline's. Runs lacking a counter are skipped for that counter.
 
 Typical workflow (EXPERIMENTS.md has the full recipe):
     ./build/bench/bench_micro --out=/tmp/now.json
@@ -21,6 +24,10 @@ Typical workflow (EXPERIMENTS.md has the full recipe):
 
     ./build/bench/bench_incast --out=/tmp/incast
     tools/bench_compare.py BENCH_incast.json /tmp/incast.json --metric=fct_p99_us
+
+    ./build/bench/bench_shortflows --out=/tmp/sf
+    tools/bench_compare.py BENCH_shortflows.json /tmp/sf.json \
+        --metric=fct_p50_us,fct_p99_us,fct_p999_us
 """
 import argparse
 import json
@@ -84,8 +91,9 @@ def main():
                     help="fail if any shared benchmark slows by more than "
                          "this fraction (default 0.15)")
     ap.add_argument("--metric", default=None,
-                    help="compare this counters[] entry (lower is better) "
-                         "instead of cpu time / items/sec")
+                    help="compare these counters[] entries (comma-separated, "
+                         "lower is better) instead of cpu time / items/sec; "
+                         "every named counter is gated independently")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -95,8 +103,14 @@ def main():
         sys.exit("no benchmark names in common between the two documents")
 
     if args.metric:
-        regressions = compare_metric(base, cand, shared, args.metric,
-                                     args.max_regress)
+        regressions = []
+        for i, metric in enumerate(m for m in args.metric.split(",") if m):
+            if i:
+                print()
+            regressions += [(f"{name} [{metric}]", ratio)
+                            for name, ratio in compare_metric(
+                                base, cand, shared, metric,
+                                args.max_regress)]
     else:
         width = max(len(n) for n in shared)
         print(f"{'benchmark':<{width}}  {'base cpu':>10}  {'cand cpu':>10}  "

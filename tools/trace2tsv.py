@@ -6,6 +6,7 @@ Usage:
     tools/trace2tsv.py TRACE.json --flow 1       # one flow only
     tools/trace2tsv.py TRACE.json --cwnd         # cwnd/ssthresh evolution
     tools/trace2tsv.py TRACE.json --timeseq      # sender time-sequence plot
+    tools/trace2tsv.py TRACE.json --recovery     # forced-retransmit events
 
 Both document shapes work: plain ring dumps and the replay fixtures under
 tests/traces/ (the `recorded` section is ignored here). Point names come
@@ -19,6 +20,7 @@ of the fence agree by construction. Output columns:
     (default)   time_ps  point  flow  a0  a1  a2  a3
     --cwnd      time_ps  tdn    cwnd  ssthresh
     --timeseq   time_ps  acked_through
+    --recovery  time_ps  flow   seq   tdn  quiet_ps  threshold_ps
 """
 import argparse
 import json
@@ -30,6 +32,7 @@ POINT_CWND_UPDATE = 2
 POINT_SACK_EDIT = 6
 POINT_UNDO = 7
 SACK_EDIT_ACKED = 3
+POINT_RECOVERY_FORCED = 20
 
 
 def load(path):
@@ -82,6 +85,15 @@ def dump_timeseq(doc, flow):
                 print(f"{t}\t{high}")
 
 
+def dump_recovery(doc, flow):
+    # kRecoveryForced: a0 = seq, a1 = episode TDN (undo_tdn), a2 = quiet ps,
+    # a3 = adaptive threshold ps at forcing time.
+    print("time_ps\tflow\tseq\ttdn\tquiet_ps\tthreshold_ps")
+    for t, point, rflow, a0, a1, a2, a3 in records(doc, flow):
+        if point == POINT_RECOVERY_FORCED:
+            print(f"{t}\t{rflow}\t{a0}\t{a1}\t{a2}\t{a3}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="tdtcp-trace/1 JSON document")
@@ -93,6 +105,8 @@ def main():
                       help="cwnd/ssthresh evolution (cwnd updates + undos)")
     mode.add_argument("--timeseq", action="store_true",
                       help="cumulative bytes retired over time")
+    mode.add_argument("--recovery", action="store_true",
+                      help="recovery-agent forced-retransmit events")
     args = ap.parse_args()
 
     doc = load(args.trace)
@@ -100,9 +114,16 @@ def main():
         dump_cwnd(doc, args.flow)
     elif args.timeseq:
         dump_timeseq(doc, args.flow)
+    elif args.recovery:
+        dump_recovery(doc, args.flow)
     else:
         dump_all(doc, args.flow)
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except BrokenPipeError:
+        # downstream consumer (head, less) closed the pipe; not an error
+        sys.stderr.close()
+        sys.exit(0)
