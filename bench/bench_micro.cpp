@@ -156,6 +156,173 @@ void BM_AckProcessing(benchmark::State& state) {
 }
 BENCHMARK(BM_AckProcessing);
 
+// Same-timestamp cohort dispatch: 64 distinct timestamps, 1024 events each.
+// Arg toggles RunBatch (1) vs the sequential RunNext loop (0); the delta is
+// the price of re-sifting the heap between same-time events.
+void BM_EventBatchDispatch(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  constexpr int kEvents = 65536;
+  for (auto _ : state) {
+    Simulator sim;
+    sim.set_batched_dispatch(batched);
+    int sink = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sim.Schedule(SimTime::Nanos(i % 64), [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventBatchDispatch)->Arg(0)->Arg(1);
+
+// ACK/SACK scoreboard batch processing: an 8-ACK dup train with advancing
+// SACK edges against a live scoreboard, fed per-packet (0) or coalesced
+// through HandleBurst (1). Replays are idempotent after the first pass, so
+// every iteration measures the same scoreboard walk.
+void BM_AckBurst(benchmark::State& state) {
+  const bool coalesce = state.range(0) != 0;
+  Simulator sim;
+  Random rng(1);
+  TopologyConfig tc;
+  tc.hosts_per_rack = 2;
+  Topology topo(sim, rng, tc);
+  TcpConfig c;
+  c.mss = 8940;
+  c.cc_factory = MakeCcFactory("cubic");
+  c.tdtcp_enabled = true;
+  c.num_tdns = 2;
+  TcpConnection server(sim, topo.host(1, 0), 1, topo.host_id(0, 0), c);
+  TcpConnection client(sim, topo.host(0, 0), 1, topo.host_id(1, 0), c);
+  server.Listen();
+  client.Connect();
+  client.SetUnlimitedData(true);
+  sim.RunUntil(SimTime::Millis(1));
+
+  constexpr int kBurst = 8;
+  const std::uint64_t una = client.snd_una();
+  const std::uint64_t mss = c.mss;
+  Packet acks[kBurst];
+  Packet* ptrs[kBurst];
+  auto reload = [&] {
+    for (int i = 0; i < kBurst; ++i) {
+      Packet p;
+      p.type = PacketType::kAck;
+      p.flow = 1;
+      p.ack = una;
+      p.size_bytes = 60;
+      p.has_rwnd = true;
+      p.rcv_window = 1u << 30;
+      p.num_sack = 1;
+      p.sack[0] = SackBlock{una + mss, una + mss * (2 + i)};
+      acks[i] = p;
+      ptrs[i] = &acks[i];
+    }
+  };
+  for (auto _ : state) {
+    reload();
+    if (coalesce) {
+      client.HandleBurst(ptrs, kBurst);
+    } else {
+      for (int i = 0; i < kBurst; ++i) client.HandlePacket(std::move(acks[i]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  state.counters["scoreboard_segs"] =
+      static_cast<double>(client.send_queue().segments().size());
+}
+BENCHMARK(BM_AckBurst)->Arg(0)->Arg(1);
+
+// Link burst transfer: an 8-packet zero-serialization convoy bouncing
+// between two links; arg toggles Config::allow_burst. Items are packet
+// deliveries.
+struct BenchBouncer : PacketSink {
+  Link* out = nullptr;
+  std::uint64_t received = 0;
+  void HandlePacket(Packet&& p) override {
+    ++received;
+    out->Enqueue(std::move(p));
+  }
+  void HandleBurst(Packet** pkts, std::size_t n) override {
+    received += n;
+    for (std::size_t i = 0; i < n; ++i) out->Enqueue(std::move(*pkts[i]));
+  }
+};
+
+void BM_LinkBurst(benchmark::State& state) {
+  const bool burst = state.range(0) != 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    BenchBouncer east_sink, west_sink;
+    Link::Config lc;
+    lc.rate_bps = 1'000'000'000'000'000'000ull;  // zero-tx for any real MTU
+    lc.propagation = SimTime::Nanos(100);
+    lc.allow_burst = burst;
+    lc.queue.capacity_packets = 64;
+    Link east(sim, lc, &east_sink);
+    Link west(sim, lc, &west_sink);
+    east_sink.out = &west;
+    west_sink.out = &east;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      Packet p;
+      p.id = i + 1;
+      p.size_bytes = 9000;
+      p.payload = 8940;
+      east.Enqueue(std::move(p));
+    }
+    sim.RunUntil(SimTime::Millis(1));
+    delivered += east_sink.received + west_sink.received;
+    benchmark::DoNotOptimize(east_sink.received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_LinkBurst)->Arg(0)->Arg(1);
+
+// Scale benchmarks (tracked in BENCH_scale.json): end-to-end simulated
+// events per wall second on the two heaviest standing configurations. Items
+// are simulator events, so items/s is directly events/s.
+void BM_ScaleChurnFault(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    FaultPlan plan;
+    plan.fabric.loss_rate = 0.02;
+    plan.control.notify_loss_rate = 0.1;
+    plan.control.notify_delay_mean = SimTime::Micros(5);
+    plan.control.notify_duplicate_rate = 0.05;
+    ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                               .WithFlows(8)
+                               .WithDuration(SimTime::Millis(5))
+                               .WithWarmup(SimTime::Millis(1))
+                               .WithSampling(false, false)
+                               .WithFault(plan)
+                               .WithChurn(50);
+    ExperimentResult r = RunExperiment(cfg);
+    events += r.sim_events;
+    benchmark::DoNotOptimize(r.total_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("2-rack, 8 flows + 50 churn conns, mixed faults");
+}
+BENCHMARK(BM_ScaleChurnFault)->Unit(benchmark::kMillisecond);
+
+void BM_ScaleIncast(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ExperimentConfig cfg = PaperConfig(Variant::kTdtcp)
+                               .WithFlows(16)
+                               .WithDuration(SimTime::Millis(5))
+                               .WithWarmup(SimTime::Millis(1))
+                               .WithSampling(false, false);
+    ExperimentResult r = RunExperiment(cfg);
+    events += r.sim_events;
+    benchmark::DoNotOptimize(r.total_bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("2-rack, 16-flow cross-rack incast");
+}
+BENCHMARK(BM_ScaleIncast)->Unit(benchmark::kMillisecond);
+
 // Console output as usual, plus a machine-readable copy of every finished
 // run. Counter values arrive already finalized (rates resolved against cpu
 // time by the benchmark runner), so they are copied through untouched.
@@ -192,6 +359,11 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   std::string out_path;
   double min_items_per_sec = 0;
+  // --min-items-per-sec=@FILE[:FRAC] reads per-benchmark floors from a
+  // tdtcp-bench/1 baseline: each run must reach FRAC (default 0.5) of the
+  // baseline's items/s for the same benchmark name.
+  std::string baseline_floor_path;
+  double baseline_floor_frac = 0.5;
   // Strip our flags before google-benchmark sees (and rejects) them.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -199,7 +371,22 @@ int main(int argc, char** argv) {
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else if (std::strncmp(arg, "--min-items-per-sec=", 20) == 0) {
-      min_items_per_sec = std::atof(arg + 20);
+      const char* value = arg + 20;
+      if (value[0] == '@') {
+        baseline_floor_path = value + 1;
+        const std::size_t colon = baseline_floor_path.rfind(':');
+        if (colon != std::string::npos) {
+          char* end = nullptr;
+          const double frac =
+              std::strtod(baseline_floor_path.c_str() + colon + 1, &end);
+          if (end != nullptr && *end == '\0' && frac > 0) {
+            baseline_floor_frac = frac;
+            baseline_floor_path.resize(colon);
+          }
+        }
+      } else {
+        min_items_per_sec = std::atof(value);
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -253,6 +440,44 @@ int main(int argc, char** argv) {
                    "reported an item rate\n");
       return 1;
     }
+  }
+
+  if (!baseline_floor_path.empty()) {
+    tdtcp::BenchReport baseline;
+    try {
+      baseline = tdtcp::ReadBenchJson(baseline_floor_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_micro: cannot read baseline %s: %s\n",
+                   baseline_floor_path.c_str(), e.what());
+      return 1;
+    }
+    std::size_t checked = 0;
+    for (const tdtcp::BenchRun& r : report.runs) {
+      if (r.items_per_second == 0) continue;
+      for (const tdtcp::BenchRun& b : baseline.runs) {
+        if (b.name != r.name || b.items_per_second == 0) continue;
+        const double floor = b.items_per_second * baseline_floor_frac;
+        if (r.items_per_second < floor) {
+          std::fprintf(stderr,
+                       "bench_micro: %s at %.0f items/s is below %.2fx of the "
+                       "baseline %.0f\n",
+                       r.name.c_str(), r.items_per_second, baseline_floor_frac,
+                       b.items_per_second);
+          return 1;
+        }
+        ++checked;
+        break;
+      }
+    }
+    if (checked == 0) {
+      std::fprintf(stderr,
+                   "bench_micro: baseline floor set but no benchmark matched "
+                   "an entry in %s\n",
+                   baseline_floor_path.c_str());
+      return 1;
+    }
+    std::printf("baseline floor: %zu benchmarks >= %.2fx of %s\n", checked,
+                baseline_floor_frac, baseline_floor_path.c_str());
   }
 
   benchmark::Shutdown();

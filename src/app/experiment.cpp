@@ -50,6 +50,7 @@ ExperimentConfig PaperConfig(Variant v) {
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const int plot_weeks = config.plot_weeks;
   Simulator sim;
+  sim.set_batched_dispatch(config.batched_dispatch);
   Random rng(config.seed);
 
   Topology topo(sim, rng, config.topology);
@@ -375,6 +376,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     r.voq_sojourn_p99_us = merged.SojournPercentileUs(99);
     r.voq_sojourn_max_us =
         std::max(qf.max_sojourn, qr.max_sojourn).micros_f();
+  }
+  {
+    const Simulator::Stats ss = sim.GetStats();
+    r.sim_events = ss.events_executed;
+    r.sim_batches = ss.batches;
+    r.sim_max_batch = ss.max_batch;
+    r.sim_cohort_hits = ss.cohort_hits;
+    r.sim_dead_dropped = ss.dead_dropped;
+    r.sim_compactions = ss.compactions;
   }
   if (trace_ring) {
     r.trace_hash = trace_ring->Hash();

@@ -68,6 +68,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   bool sample_voq = true;
   bool sample_reorder = true;
+  // Simulator event-dispatch batching (Simulator::set_batched_dispatch).
+  // On by default; the sequential path exists for A/B bit-identity checks
+  // (tests/batch_test) and as an escape hatch, not as a tuning knob.
+  bool batched_dispatch = true;
   // How many optical weeks the folded curves span (the paper's Fig. 2/7
   // windows show ~3 weeks).
   int plot_weeks = 3;
@@ -171,6 +175,10 @@ struct ExperimentConfig {
     trace.record_flow = flow;
     return *this;
   }
+  ExperimentConfig& WithBatchedDispatch(bool batched) {
+    batched_dispatch = batched;
+    return *this;
+  }
 };
 
 // The paper's baseline configuration for a given variant (DCTCP gets a
@@ -255,6 +263,17 @@ struct ExperimentResult {
   double voq_sojourn_mean_us = 0;
   double voq_sojourn_p99_us = 0;           // histogram-bucket upper edge
   double voq_sojourn_max_us = 0;
+
+  // Simulator event-core accounting (Simulator::GetStats): total events
+  // executed, batch counters from the batched dispatch loop, and the event
+  // queue's dead-entry/compaction bookkeeping. sim_batches/sim_max_batch are
+  // zero when the run disabled batched dispatch.
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_batches = 0;
+  std::uint64_t sim_max_batch = 0;
+  std::uint64_t sim_cohort_hits = 0;
+  std::uint64_t sim_dead_dropped = 0;
+  std::uint64_t sim_compactions = 0;
 
   // Tracing (all zero/null when TraceOptions::enabled was false). The hash
   // is order-sensitive over the whole ring, so two runs of the same config

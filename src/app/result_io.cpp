@@ -117,6 +117,12 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "recovery_forced") r.recovery_forced = u64();
   else if (name == "recovery_rescued") r.recovery_rescued = u64();
   else if (name == "recovery_spurious") r.recovery_spurious = u64();
+  else if (name == "sim_events") r.sim_events = u64();
+  else if (name == "sim_batches") r.sim_batches = u64();
+  else if (name == "sim_max_batch") r.sim_max_batch = u64();
+  else if (name == "sim_cohort_hits") r.sim_cohort_hits = u64();
+  else if (name == "sim_dead_dropped") r.sim_dead_dropped = u64();
+  else if (name == "sim_compactions") r.sim_compactions = u64();
   // Unknown metrics from a newer minor schema are ignored.
 }
 

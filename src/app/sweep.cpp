@@ -125,6 +125,14 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"recovery_forced", static_cast<double>(r.recovery_forced)},
       {"recovery_rescued", static_cast<double>(r.recovery_rescued)},
       {"recovery_spurious", static_cast<double>(r.recovery_spurious)},
+      // Simulator event-core metrics (batched dispatch + queue bookkeeping);
+      // appended at the end like the families above.
+      {"sim_events", static_cast<double>(r.sim_events)},
+      {"sim_batches", static_cast<double>(r.sim_batches)},
+      {"sim_max_batch", static_cast<double>(r.sim_max_batch)},
+      {"sim_cohort_hits", static_cast<double>(r.sim_cohort_hits)},
+      {"sim_dead_dropped", static_cast<double>(r.sim_dead_dropped)},
+      {"sim_compactions", static_cast<double>(r.sim_compactions)},
   };
 }
 

@@ -22,19 +22,22 @@ void FabricPort::SetMode(const NetworkMode& mode) {
   // or admission event, so it must not distort sojourn stats, advance the
   // AQM, or manufacture drops for packets the queue already admitted.
   if (!voq_.Empty()) {
+    drain_scratch_.clear();
+    voq_.DrainRawInto(drain_scratch_);  // one batched structural pop
     keep_scratch_.clear();
-    while (auto p = voq_.PopRaw()) {
-      if (p->pinned_path != kUnpinned && p->pinned_path != active_path()) {
-        auto& stash = stash_[p->pinned_path];
+    for (Packet& p : drain_scratch_) {
+      if (p.pinned_path != kUnpinned && p.pinned_path != active_path()) {
+        auto& stash = stash_[p.pinned_path];
         if (stash.size() >= config_.pinned_stash_capacity) {
           ++pinned_dropped_;
         } else {
-          stash.push_back(std::move(*p));
+          stash.push_back(std::move(p));
         }
       } else {
-        keep_scratch_.push_back(std::move(*p));
+        keep_scratch_.push_back(std::move(p));
       }
     }
+    drain_scratch_.clear();
     for (auto& p : keep_scratch_) voq_.Restore(std::move(p));
     keep_scratch_.clear();
   }

@@ -94,6 +94,7 @@ class FabricPort {
   // Scratch for SetMode's VOQ repack; a member so mode flips (4x per RDCN
   // week per port) reuse its capacity instead of allocating a fresh deque.
   std::vector<Packet> keep_scratch_;
+  std::vector<Packet> drain_scratch_;
   FaultFilter fault_filter_;
   bool has_fault_filter_ = false;
   std::uint64_t pinned_dropped_ = 0;

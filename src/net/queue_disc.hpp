@@ -160,6 +160,24 @@ class QueueDisc {
   // emptied the queue.
   std::optional<Packet> Dequeue(SimTime now);
 
+  // Burst service: pops up to `max` deliverable packets into `out[0..)` and
+  // returns how many were delivered. Exactly equivalent to calling
+  // Dequeue(now) repeatedly until `max` deliveries or an empty queue — the
+  // AQM control law (CoDel state machine, delay marking, live occupancy)
+  // runs per packet on identical state — but the sojourn-summary, shared-
+  // pool, and shrink-watermark bookkeeping is folded into one update per
+  // burst. A front packet larger than `max_packet_bytes` stops the burst
+  // *before* being popped (the caller's "would this packet still belong to
+  // the burst" predicate, e.g. Link's zero-serialization cap).
+  std::size_t DequeueBurst(SimTime now, std::size_t max,
+                           std::uint32_t max_packet_bytes, Packet* out);
+
+  // Structural bulk drain, the batched form of `while (auto p = PopRaw())`:
+  // moves every queued packet into `out` (appending) with the pool and
+  // watermark accounting applied once. Same non-service semantics as
+  // PopRaw — no sojourn stats, no AQM. For owners repacking a queue.
+  void DrainRawInto(std::vector<Packet>& out);
+
   // Structural pop: front packet with pool/watermark accounting but no
   // sojourn stats and no AQM. For owners repacking a queue (FabricPort's
   // mode flip) — not a service path.

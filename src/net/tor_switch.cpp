@@ -25,33 +25,61 @@ FabricPort* ToRSwitch::AddRemoteRack(RackId rack, FabricPort::Config config,
   return raw;
 }
 
-void ToRSwitch::HandlePacket(Packet&& p) {
-  ++forwarded_;
+ToRSwitch::Route ToRSwitch::Resolve(NodeId dst) {
   RackId dst_rack;
   if (hosts_per_rack_ != 0) {
-    dst_rack = static_cast<RackId>(p.dst / hosts_per_rack_);
+    dst_rack = static_cast<RackId>(dst / hosts_per_rack_);
   } else {
     assert(rack_of_ && "rack resolver not installed");
-    dst_rack = rack_of_(p.dst);
+    dst_rack = rack_of_(dst);
   }
   if (dst_rack == rack_) {
     if (hosts_per_rack_ != 0) {
       // Uniform topology: host slots are attached in id order, so the
       // downlink index is arithmetic, not a hash probe.
-      const std::size_t idx = static_cast<std::size_t>(p.dst % hosts_per_rack_);
-      if (idx < hosts_.size() && hosts_[idx].id == p.dst) {
-        hosts_[idx].downlink->Enqueue(std::move(p));
-        return;
+      const std::size_t idx = static_cast<std::size_t>(dst % hosts_per_rack_);
+      if (idx < hosts_.size() && hosts_[idx].id == dst) {
+        return Route{hosts_[idx].downlink, nullptr};
       }
     }
-    auto it = host_index_.find(p.dst);
+    auto it = host_index_.find(dst);
     assert(it != host_index_.end() && "unknown local host");
-    hosts_[it->second].downlink->Enqueue(std::move(p));
-    return;
+    return Route{hosts_[it->second].downlink, nullptr};
   }
   auto it = ports_.find(dst_rack);
   assert(it != ports_.end() && "no fabric port for destination rack");
-  it->second->Enqueue(std::move(p));
+  return Route{nullptr, it->second.get()};
+}
+
+void ToRSwitch::HandlePacket(Packet&& p) {
+  ++forwarded_;
+  const Route r = Resolve(p.dst);
+  if (r.downlink != nullptr) {
+    r.downlink->Enqueue(std::move(p));
+  } else {
+    r.port->Enqueue(std::move(p));
+  }
+}
+
+void ToRSwitch::HandleBurst(Packet** pkts, std::size_t n) {
+  // Same-tick bursts overwhelmingly share a destination (an incast fan-in
+  // converging on one host); the memo turns the per-packet resolution into
+  // one per run of equal destinations.
+  NodeId memo_dst = kInvalidNode;
+  Route memo;
+  for (std::size_t i = 0; i < n; ++i) {
+    Packet& p = *pkts[i];
+    ++forwarded_;
+    if (p.dst != memo_dst) {
+      memo_dst = p.dst;
+      memo = Resolve(p.dst);
+    }
+    if (memo.downlink != nullptr) {
+      memo.downlink->Enqueue(std::move(p));
+    } else {
+      memo.port->Enqueue(std::move(p));
+    }
+  }
 }
 
 SimTime ToRSwitch::SampleGenDelay() {

@@ -7,10 +7,25 @@
 namespace tdtcp {
 namespace {
 
-// Below this many heap entries a compaction pass costs more than it saves.
-constexpr std::size_t kCompactMinHeap = 64;
+// Below this many chain nodes a compaction pass costs more than it saves.
+constexpr std::size_t kCompactMinNodes = 64;
 
 }  // namespace
+
+EventQueue::EventQueue()
+    // Plain array-new: CohortSet is trivial, so the storage stays
+    // uninitialized until the one memset below (make_unique would zero it
+    // first and touch the 32 KiB twice per Simulator construction).
+    : cohort_cache_(new CohortSet[kCohortSets]) {
+  InvalidateCohortCache();
+}
+
+void EventQueue::InvalidateCohortCache() {
+  // 0xff bytes give at_ps = -1 (empty) in one memset; tail is never read
+  // while at_ps is the sentinel.
+  static_assert(std::is_trivially_copyable_v<CohortSet>);
+  std::memset(cohort_cache_.get(), 0xff, kCohortSets * sizeof(CohortSet));
+}
 
 EventQueue::EntryBuf::~EntryBuf() {
   if (raw_ != nullptr) ::operator delete(raw_, std::align_val_t{64});
@@ -47,6 +62,62 @@ void EventQueue::ThrowSeqExhausted() const {
   throw std::length_error("EventQueue: schedule sequence space exhausted");
 }
 
+std::uint32_t EventQueue::AllocNode(std::uint64_t ev) {
+  std::uint32_t n = node_free_;
+  if (n == kNilNode) {
+    if (nodes_.size() >= kMaxNodes) {
+      throw std::length_error("EventQueue: chain node pool exhausted");
+    }
+    n = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{ev, kNilNode});
+    return n;
+  }
+  node_free_ = nodes_[n].next;
+  nodes_[n] = Node{ev, kNilNode};
+  return n;
+}
+
+EventId EventQueue::ScheduleHeap(SimTime at, std::uint32_t slot) {
+  const std::uint64_t seq = NextSeq();
+  SlotRef(slot).live = seq;
+  const EventId id = MakeKey(seq, slot);
+  const std::uint32_t node = AllocNode(id);
+  const std::int64_t ps = at.picos();
+  CohortSet& set = cohort_cache_[CohortIndex(ps)];
+  // One fused pass over the set's four ways (one cache line): find the hit
+  // and, failing that, the first empty way to insert into.
+  CohortRef* hit = nullptr;
+  CohortRef* empty = nullptr;
+  for (std::size_t w = 0; w < kCohortWays; ++w) {
+    CohortRef& c = set.way[w];
+    if (c.at_ps == ps) {
+      hit = &c;
+      break;
+    }
+    if (empty == nullptr && c.at_ps < 0) empty = &c;
+  }
+  if (hit != nullptr) {
+    // Same-time append: chain onto the cached cohort's tail, no heap
+    // traffic at all. Sequence monotonicity keeps the chain FIFO-sorted.
+    nodes_[hit->tail].next = node;
+    hit->tail = node;
+    ++counters_.cohort_hits;
+  } else {
+    heap_.push_back(Entry{at, HeapKey(seq, node)});
+    SiftUp(heap_.size() - 1);
+    if (ps >= 0) {
+      // No empty way: replace round-robin. Replacement is deterministic (a
+      // counter, not wall-clock or randomness) and only ever costs
+      // performance: an evicted time just reopens as a twin.
+      if (empty == nullptr) empty = &set.way[cohort_rr_++ & (kCohortWays - 1)];
+      *empty = CohortRef{ps, node, 0};
+    }
+  }
+  ++heap_nodes_;
+  ++live_count_;
+  return id;
+}
+
 void EventQueue::Cancel(EventId id) {
   const std::uint32_t slot = SlotOf(id);
   if (slot >= slab_size_for_test()) return;  // never existed
@@ -64,6 +135,8 @@ void EventQueue::Cancel(EventId id) {
   if (was_lane) {
     ++lane_dead_;
   } else {
+    // The chain node stays linked (O(1) cancel); drain skips it lazily and
+    // compaction reclaims it wholesale.
     ++heap_dead_;
     MaybeCompact();
   }
@@ -133,37 +206,89 @@ void EventQueue::DropDeadHeads() {
   // The dead counters gate the slot probes: with no pending cancellations
   // (the common case) this is two compare-to-zero branches, no slab reads.
   if (lane_dead_ != 0) {
-    while (lane_count_ != 0 && EntryDead(lane_[lane_head_])) {
+    while (lane_count_ != 0 && EventDead(lane_[lane_head_].key)) {
       LanePop();
       --lane_dead_;
+      ++counters_.dead_dropped;
     }
   }
   if (heap_dead_ != 0) {
-    while (!heap_.empty() && EntryDead(heap_.front())) {
-      HeapPopTop();
+    while (!heap_.empty()) {
+      Entry& front = heap_.front();
+      const std::uint32_t head =
+          static_cast<std::uint32_t>(front.key & kNodeIndexMask);
+      if (!EventDead(nodes_[head].ev)) break;
+      const std::uint32_t next = nodes_[head].next;
+      FreeNode(head);
+      --heap_nodes_;
       --heap_dead_;
+      ++counters_.dead_dropped;
+      if (next == kNilNode) {
+        // Whole cohort gone: the cache entry (if still ours) must die with
+        // it, or a later same-time schedule would append to a freed node.
+        ClearCohortRef(front.at);
+        HeapPopTop();
+      } else {
+        // Advance the cohort in place. The front stays the true minimum:
+        // within the chain seqs ascend, and any same-time twin was created
+        // strictly later, so all its seqs are larger than the whole chain.
+        front.key = HeapKey(nodes_[next].ev >> kSlotIndexBits, next);
+      }
+      if (heap_dead_ == 0) break;
     }
   }
 }
 
 void EventQueue::MaybeCompact() {
-  if (heap_.size() < kCompactMinHeap || heap_dead_ * 2 <= heap_.size()) return;
+  if (heap_nodes_ >= kCompactMinNodes && heap_dead_ * 2 > heap_nodes_) {
+    Compact();
+  }
+}
+
+void EventQueue::Compact() {
+  // Filter every cohort chain (dead nodes can sit mid-chain), drop cohorts
+  // that end up empty, then Floyd-heapify the packed entries: O(nodes), and
+  // the pass runs at most once per half-pool of cancellations.
   std::size_t w = 0;
   for (std::size_t r = 0; r < heap_.size(); ++r) {
-    if (!EntryDead(heap_[r])) heap_[w++] = heap_[r];
+    const Entry e = heap_[r];
+    std::uint32_t head = kNilNode;
+    std::uint32_t tail = kNilNode;
+    std::uint32_t cur = static_cast<std::uint32_t>(e.key & kNodeIndexMask);
+    while (cur != kNilNode) {
+      const std::uint32_t next = nodes_[cur].next;
+      if (EventDead(nodes_[cur].ev)) {
+        FreeNode(cur);
+        --heap_nodes_;
+        --heap_dead_;
+        ++counters_.dead_dropped;
+      } else {
+        if (head == kNilNode) {
+          head = cur;
+        } else {
+          nodes_[tail].next = cur;
+        }
+        tail = cur;
+      }
+      cur = next;
+    }
+    if (head != kNilNode) {
+      nodes_[tail].next = kNilNode;
+      heap_[w++] = Entry{e.at, HeapKey(nodes_[head].ev >> kSlotIndexBits, head)};
+    }
   }
   heap_.resize_down(w);
-  // Floyd heapify: O(n), and the pass runs at most once per half-heap of
-  // cancellations. Every index >= size/arity is a leaf.
   for (std::size_t i = heap_.size() / kHeapArity + 1; i-- > 0;) {
     if (i < heap_.size()) SiftDown(i);
   }
-  heap_dead_ = 0;
+  // Chain tails may have moved or died; a wholesale wipe is always safe.
+  InvalidateCohortCache();
+  ++counters_.compactions;
 }
 
 SimTime EventQueue::NextTime() {
   DropDeadHeads();
-  const Entry* lane = LaneFront();
+  const LaneEntry* lane = LaneFront();
   if (lane == nullptr) {
     return heap_.empty() ? SimTime::Max() : heap_.front().at;
   }
@@ -172,50 +297,67 @@ SimTime EventQueue::NextTime() {
   return lane->at;
 }
 
-EventQueue::Entry EventQueue::TakeNextEntry() {
+std::uint64_t EventQueue::TakeHeapHead() {
+  Entry& front = heap_.front();
+  const std::uint32_t head =
+      static_cast<std::uint32_t>(front.key & kNodeIndexMask);
+  Node& nd = nodes_[head];
+  const std::uint64_t ev = nd.ev;
+  // The winner's slot line is needed right after the structural pop;
+  // kicking the fetch off here hides it behind the sift-down / advance.
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(&SlotRef(SlotOf(ev)), 1 /*write*/);
+#endif
+  const std::uint32_t next = nd.next;
+  FreeNode(head);
+  --heap_nodes_;
+  if (next == kNilNode) {
+    ClearCohortRef(front.at);
+    HeapPopTop();
+  } else {
+    front.key = HeapKey(nodes_[next].ev >> kSlotIndexBits, next);
+  }
+  return ev;
+}
+
+EventQueue::Taken EventQueue::TakeNextEntry() {
   DropDeadHeads();
   assert(live_count_ > 0);
-  const Entry* lane = LaneFront();
-  bool use_lane;
-  if (lane != nullptr && !heap_.empty()) {
-    // A heap entry at the same instant with a smaller sequence number was
-    // scheduled earlier and must keep its FIFO position.
-    use_lane = After(heap_.front(), *lane);
-  } else {
-    use_lane = lane != nullptr;
+  const LaneEntry* lane = LaneFront();
+  if (lane != nullptr) {
+    // A heap cohort at the same instant whose head has a smaller sequence
+    // number was scheduled earlier and must keep its FIFO position. Lane
+    // keys and heap keys use different layouts, so compare seqs explicitly.
+    const bool lane_first =
+        heap_.empty() || lane->at < heap_.front().at ||
+        (lane->at == heap_.front().at &&
+         SeqOf(lane->key) < HeapFirstSeq(heap_.front()));
+    if (lane_first) {
+      const Taken t{lane->at, lane->key};
+      LanePop();
+      return t;
+    }
   }
-  Entry e;
-  if (use_lane) {
-    e = *lane;
-    LanePop();
-  } else {
-    e = heap_.front();
-    // The winner's slot line is needed right after the structural pop;
-    // kicking the fetch off here hides it behind the whole sift-down.
-#if defined(__GNUC__) || defined(__clang__)
-    __builtin_prefetch(&SlotRef(SlotOf(e.key)), 1 /*write*/);
-#endif
-    HeapPopTop();
-  }
-  return e;
+  const SimTime at = heap_.front().at;
+  return Taken{at, TakeHeapHead()};
 }
 
 EventQueue::Event EventQueue::PopNext() {
-  const Entry e = TakeNextEntry();
-  Slot& s = SlotRef(SlotOf(e.key));
+  const Taken t = TakeNextEntry();
+  Slot& s = SlotRef(SlotOf(t.ev));
   Event ev;
-  ev.at = e.at;
-  ev.id = e.key;
+  ev.at = t.at;
+  ev.id = t.ev;
   ev.fn = std::move(s.fn);  // relocate out; the slot is immediately reusable
   s.live = 0;
-  free_slots_.push_back(SlotOf(e.key));
+  free_slots_.push_back(SlotOf(t.ev));
   --live_count_;
   return ev;
 }
 
 void EventQueue::RunNext(SimTime& now_out) {
-  const Entry e = TakeNextEntry();
-  const std::uint32_t slot = SlotOf(e.key);
+  const Taken t = TakeNextEntry();
+  const std::uint32_t slot = SlotOf(t.ev);
   Slot& s = SlotRef(slot);
   // Retire the entry before running: a reentrant Cancel of this id is a
   // no-op, and the slot stays off the freelist until the callback returns,
@@ -223,15 +365,99 @@ void EventQueue::RunNext(SimTime& now_out) {
   // (slot blocks never relocate, see GrowSlab).
   s.live = 0;
   --live_count_;
-  now_out = e.at;
+  now_out = t.at;
   s.fn.InvokeAndReset();
   free_slots_.push_back(slot);
 }
 
-void EventQueue::LanePush(const Entry& e) {
+std::size_t EventQueue::RunBatch(SimTime& now_out, const bool& stop) {
+  DropDeadHeads();
+  if (live_count_ == 0) return 0;
+  const LaneEntry* lf = LaneFront();
+  SimTime t = lf != nullptr ? lf->at : heap_.front().at;
+  if (lf != nullptr && !heap_.empty() && heap_.front().at < t) {
+    t = heap_.front().at;
+  }
+  now_out = t;
+  std::size_t n = 0;
+  while (!stop) {
+    DropDeadHeads();
+    const LaneEntry* lane = LaneFront();
+    const bool heap_ready = !heap_.empty() && heap_.front().at == t;
+    std::uint64_t ev;
+    if (lane != nullptr && lane->at == t &&
+        (!heap_ready || SeqOf(lane->key) < HeapFirstSeq(heap_.front()))) {
+      ev = lane->key;
+      LanePop();
+    } else if (heap_ready) {
+      ev = TakeHeapHead();
+    } else {
+      break;  // nothing live left at t — the batch boundary
+    }
+    const std::uint32_t slot = SlotOf(ev);
+    Slot& s = SlotRef(slot);
+    s.live = 0;
+    --live_count_;
+    s.fn.InvokeAndReset();
+    free_slots_.push_back(slot);
+    ++n;
+  }
+  if (n != 0) {
+    ++counters_.batches;
+    if (n > counters_.max_batch) counters_.max_batch = n;
+  }
+  return n;
+}
+
+EventQueue::BatchHorizon EventQueue::PeekBatchHorizon() {
+  DropDeadHeads();
+  BatchHorizon h;
+  if (live_count_ == 0) return h;
+  const LaneEntry* lf = LaneFront();
+  h.at = lf != nullptr ? lf->at : heap_.front().at;
+  if (!heap_.empty() && heap_.front().at < h.at) h.at = heap_.front().at;
+  // Lane times are non-decreasing (each was "now" when pushed), so the scan
+  // stops at the first strictly-later live entry.
+  for (std::size_t i = 0; i < lane_count_; ++i) {
+    const LaneEntry& e = lane_[(lane_head_ + i) & (lane_.size() - 1)];
+    if (EventDead(e.key)) continue;
+    if (e.at == h.at) {
+      ++h.ready;
+    } else {
+      if (e.at < h.next_at) h.next_at = e.at;
+      break;
+    }
+  }
+  // Same-time heap entries form a prefix-closed subtree rooted at the top
+  // (every ancestor of an equal-min entry is also equal-min), so a DFS that
+  // stops at later-time entries touches only the batch plus its frontier.
+  horizon_scratch_.clear();
+  if (!heap_.empty()) horizon_scratch_.push_back(0);
+  while (!horizon_scratch_.empty()) {
+    const std::size_t i = horizon_scratch_.back();
+    horizon_scratch_.pop_back();
+    if (heap_[i].at != h.at) {
+      if (heap_[i].at < h.next_at) h.next_at = heap_[i].at;
+      continue;  // its whole subtree is at or after this time
+    }
+    for (std::uint32_t cur =
+             static_cast<std::uint32_t>(heap_[i].key & kNodeIndexMask);
+         cur != kNilNode; cur = nodes_[cur].next) {
+      if (!EventDead(nodes_[cur].ev)) ++h.ready;
+    }
+    const std::size_t first = kHeapArity * i + 1;
+    for (std::size_t c = first; c < heap_.size() && c < first + kHeapArity;
+         ++c) {
+      horizon_scratch_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  return h;
+}
+
+void EventQueue::LanePush(const LaneEntry& e) {
   if (lane_count_ == lane_.size()) {
     // Grow and re-linearize (power-of-two sizes keep the index mask cheap).
-    std::vector<Entry> bigger(std::max<std::size_t>(8, lane_.size() * 2));
+    std::vector<LaneEntry> bigger(std::max<std::size_t>(8, lane_.size() * 2));
     for (std::size_t i = 0; i < lane_count_; ++i) {
       bigger[i] = lane_[(lane_head_ + i) & (lane_.size() - 1)];
     }

@@ -9,18 +9,34 @@
 //    larger than kInlineEventCapacity fail to compile.
 //  * Callback slots live in a recycled slab of fixed-size blocks (stable
 //    addresses, one cache line per slot); the 4-ary min-heap orders 16-byte
-//    POD entries {time, key} that index into the slab.
+//    POD entries {time, key}.
+//  * Same-time events are batched into COHORTS: the heap holds one entry per
+//    distinct timestamp, and all events sharing that timestamp hang off it
+//    as a FIFO chain through a recycled node pool. A direct-mapped
+//    time->tail cache makes the append O(1) — no sift — so draining N
+//    same-time events costs one sift-down total instead of N. The cache is
+//    a pure accelerator: a missed hit merely creates a second heap entry
+//    ("twin cohort") at the same time, and because appends only ever go to
+//    the most recently cached cohort while sequence numbers are globally
+//    monotonic, every seq in an older twin is smaller than every seq in a
+//    newer one — the per-entry first-seq key keeps twins in exact FIFO
+//    order.
 //  * Cancellation is sequence-tagged: an EventId packs {seq, slot}, where
-//    seq is the event's globally unique schedule sequence number. A heap
-//    entry whose seq no longer matches its slot's live seq is dead, so
+//    seq is the event's globally unique schedule sequence number. A chain
+//    node whose seq no longer matches its slot's live seq is dead, so
 //    Cancel() is O(1) with zero hashing, and a stale id can never alias a
 //    later event (sequence numbers are monotonic, never recycled). Dead
-//    entries are skipped at the head and compacted wholesale when they
-//    exceed half the heap.
+//    nodes are skipped at the head and compacted wholesale when they exceed
+//    half the pending chain nodes.
 //  * Zero-delay events (Schedule(0, ...) via the Simulator — the dominant
 //    pattern in link/queue handoff) bypass the heap entirely through a FIFO
 //    lane, while the shared sequence counter keeps the combined firing
 //    order identical to a single heap keyed on (time, schedule order).
+//
+// RunBatch() drains every event sharing the earliest timestamp (heap cohort
+// twins + same-time lane arrivals, merged in seq order) in one call, and
+// PeekBatchHorizon() exposes the same boundary as a read-only probe — the
+// lookahead primitive conservative-parallel (PDES) sharding will reuse.
 #pragma once
 
 #include <cassert>
@@ -158,13 +174,15 @@ class InlineEvent {
 
 class EventQueue {
  public:
-  // Slot-index width inside an EventId / heap key. 2^20 concurrent pending
-  // events; the remaining 43 sequence bits never overflow in any realistic
-  // run (checked — Schedule throws rather than corrupting order).
+  // Slot-index width inside an EventId. 2^20 concurrent pending events; the
+  // remaining 43 sequence bits never overflow in any realistic run (checked
+  // — Schedule throws rather than corrupting order).
   static constexpr std::uint32_t kSlotIndexBits = 20;
   static constexpr std::uint32_t kMaxSlots = 1u << kSlotIndexBits;
   static constexpr std::uint64_t kMaxSeq =
       (std::uint64_t{1} << (63 - kSlotIndexBits)) - 1;
+
+  EventQueue();
 
   // Schedules through the time-ordered heap. `ScheduleImmediate` is the
   // zero-delay fast lane: the caller (the Simulator) guarantees `at` equals
@@ -174,12 +192,7 @@ class EventQueue {
   template <typename F>
   EventId Schedule(SimTime at, F&& fn) {
     const std::uint32_t slot = AcquireSlot(std::forward<F>(fn));
-    const std::uint64_t seq = NextSeq();
-    SlotRef(slot).live = seq;
-    heap_.push_back(Entry{at, MakeKey(seq, slot)});
-    SiftUp(heap_.size() - 1);
-    ++live_count_;
-    return MakeKey(seq, slot);
+    return ScheduleHeap(at, slot);
   }
 
   template <typename F>
@@ -187,7 +200,7 @@ class EventQueue {
     const std::uint32_t slot = AcquireSlot(std::forward<F>(fn));
     const std::uint64_t seq = NextSeq();
     SlotRef(slot).live = seq | kLaneFlag;
-    LanePush(Entry{at, MakeKey(seq, slot)});
+    LanePush(LaneEntry{at, MakeKey(seq, slot)});
     ++live_count_;
     return MakeKey(seq, slot);
   }
@@ -224,12 +237,50 @@ class EventQueue {
   // before invocation. Precondition: !Empty().
   void RunNext(SimTime& now_out);
 
+  // Drains EVERY live event sharing the earliest timestamp — the heap
+  // cohort, its twins, and lane entries at the same instant, merged in
+  // schedule-sequence order — and invokes each in place. Events the
+  // callbacks schedule at the same instant (zero-delay chains through the
+  // lane) join the batch, exactly as repeated RunNext calls would take
+  // them. `now_out` is set to the batch timestamp before the first callback
+  // runs; `stop` is re-checked between events so Simulator::Stop() keeps
+  // its between-events semantics. Returns the number of events dispatched
+  // (0 when empty). The dispatch order is bit-identical to calling
+  // RunNext() in a loop.
+  std::size_t RunBatch(SimTime& now_out, const bool& stop);
+
+  // Read-only probe of the batch boundary: the earliest live timestamp, how
+  // many live events currently share it, and the earliest strictly-later
+  // live timestamp. This is the conservative-parallel (PDES) lookahead
+  // primitive: a shard may safely dispatch `ready` events and advance its
+  // local clock to `next_at` without synchronizing, provided no external
+  // input can arrive before `next_at`. O(ready + twins) — it walks only the
+  // equal-time prefix of the heap (same-time entries form a prefix-closed
+  // subtree rooted at the top).
+  struct BatchHorizon {
+    SimTime at = SimTime::Max();       // earliest live event time
+    SimTime next_at = SimTime::Max();  // earliest strictly-later live time
+    std::size_t ready = 0;             // live events sharing `at`
+  };
+  BatchHorizon PeekBatchHorizon();
+
+  // Monotonic internals counters (batching / cancellation observability).
+  struct Counters {
+    std::uint64_t batches = 0;       // RunBatch invocations that dispatched
+    std::uint64_t max_batch = 0;     // largest single batch
+    std::uint64_t cohort_hits = 0;   // O(1) same-time appends (sift skipped)
+    std::uint64_t dead_dropped = 0;  // cancelled entries reclaimed lazily
+    std::uint64_t compactions = 0;   // whole-heap compaction passes
+  };
+  const Counters& counters() const { return counters_; }
+
   // --- introspection / test hooks -------------------------------------------
   static std::uint32_t SlotOf(EventId id) {
     return static_cast<std::uint32_t>(id & (kMaxSlots - 1));
   }
   static std::uint64_t SeqOf(EventId id) { return id >> kSlotIndexBits; }
-  // Backing-store sizes, for compaction tests (dead entries included).
+  // Backing-store sizes, for compaction tests. heap_storage counts heap
+  // entries (one per distinct pending timestamp, dead cohorts included).
   std::size_t heap_storage_for_test() const { return heap_.size(); }
   std::size_t slab_size_for_test() const {
     return slot_blocks_.size() * kSlotBlock;
@@ -242,14 +293,39 @@ class EventQueue {
   }
 
  private:
-  // POD heap/lane entry: 16 bytes, no indirection, four children per cache
-  // line. `key` is (seq << kSlotIndexBits) | slot: comparing keys compares
-  // the FIFO sequence numbers (unique, so the slot bits below never decide),
-  // and the key doubles as the event's public id.
+  // POD heap entry: 16 bytes, one per distinct pending timestamp. `key` is
+  // (first_seq << kNodeIndexBits) | head_node: comparing keys compares the
+  // chain head's FIFO sequence number (unique, so the node bits below never
+  // decide), which both orders twin cohorts correctly and recovers the
+  // chain head in O(1).
   struct Entry {
     SimTime at;
     std::uint64_t key;
   };
+
+  // Lane entries reuse the 16-byte shape but their `key` is the EventId
+  // (seq << kSlotIndexBits | slot) directly — the lane never mixes into the
+  // heap, and the one lane-vs-heap merge point compares seqs explicitly.
+  struct LaneEntry {
+    SimTime at;
+    std::uint64_t key;
+  };
+
+  // Chain node: the event's id plus the next node of its cohort (kNilNode
+  // terminates). Free nodes thread the freelist through `next`.
+  struct Node {
+    std::uint64_t ev;
+    std::uint32_t next;
+  };
+  static constexpr std::uint32_t kNilNode = 0xffffffffu;
+  // Node-index width inside a heap key. One bit wider than the slot space:
+  // cancelled events free their slot immediately but leave the chain node
+  // in place until compaction, and compaction (triggered at >50% dead)
+  // bounds dead nodes by live ones — so the pool never exceeds 2x slots.
+  static constexpr std::uint32_t kNodeIndexBits = kSlotIndexBits + 1;
+  static constexpr std::uint32_t kMaxNodes = 1u << kNodeIndexBits;
+  static constexpr std::uint64_t kNodeIndexMask = kMaxNodes - 1;
+  static_assert(kNodeIndexBits + 43 <= 64, "heap key overflow");
 
   // One cache line: 48B capture + ops pointer + live tag.
   struct Slot {
@@ -263,6 +339,12 @@ class EventQueue {
 
   static EventId MakeKey(std::uint64_t seq, std::uint32_t slot) {
     return (seq << kSlotIndexBits) | slot;
+  }
+  static std::uint64_t HeapKey(std::uint64_t seq, std::uint32_t node) {
+    return (seq << kNodeIndexBits) | node;
+  }
+  static std::uint64_t HeapFirstSeq(const Entry& e) {
+    return e.key >> kNodeIndexBits;
   }
 
   // Fires-after ordering for the min-heap. Deliberately bitwise rather than
@@ -304,9 +386,56 @@ class EventQueue {
 
   void GrowSlab();
 
-  bool EntryDead(const Entry& e) const {
-    return (SlotRef(SlotOf(e.key)).live & ~kLaneFlag) != (e.key >> kSlotIndexBits);
+  bool EventDead(std::uint64_t ev) const {
+    return (SlotRef(SlotOf(ev)).live & ~kLaneFlag) != (ev >> kSlotIndexBits);
   }
+
+  // --- cohort plumbing -------------------------------------------------------
+  // Set-associative time -> chain-tail cache, the O(1) append accelerator.
+  // 4 ways of 16 bytes fill exactly one cache line per set, and 512 sets
+  // (32 KiB) hold ~2000 distinct pending timestamps before conflicts start
+  // — a direct-mapped table thrashes badly at the event core's typical
+  // ~1000 live timestamps. Eviction and wholesale invalidation are always
+  // CORRECT (the next same-time schedule just opens a twin cohort); the one
+  // mandatory maintenance point is clearing the entry when its cohort fully
+  // drains — a stale hit would append to a freed node and lose the event.
+  static constexpr std::uint32_t kCohortSetBits = 9;
+  static constexpr std::size_t kCohortSets = std::size_t{1} << kCohortSetBits;
+  static constexpr std::size_t kCohortWays = 4;
+  struct CohortRef {
+    std::int64_t at_ps;  // -1 = empty (negative times are never cached)
+    std::uint32_t tail;
+    std::uint32_t pad;
+  };
+  struct alignas(64) CohortSet {
+    CohortRef way[kCohortWays];
+  };
+  static std::size_t CohortIndex(std::int64_t ps) {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(ps) * 0x9E3779B97F4A7C15ull) >>
+        (64 - kCohortSetBits));
+  }
+  void ClearCohortRef(SimTime at) {
+    CohortSet& set = cohort_cache_[CohortIndex(at.picos())];
+    for (std::size_t w = 0; w < kCohortWays; ++w) {
+      if (set.way[w].at_ps == at.picos()) {
+        set.way[w].at_ps = -1;
+        return;
+      }
+    }
+  }
+  void InvalidateCohortCache();
+
+  EventId ScheduleHeap(SimTime at, std::uint32_t slot);
+  std::uint32_t AllocNode(std::uint64_t ev);
+  void FreeNode(std::uint32_t n) {
+    nodes_[n].next = node_free_;
+    node_free_ = n;
+  }
+  // Detaches and frees the heap front's chain head (advancing the cohort or
+  // popping the entry) and returns the event id. Precondition: the head
+  // node's event is live.
+  std::uint64_t TakeHeapHead();
 
   static constexpr std::size_t kHeapArity = 4;
 
@@ -344,31 +473,44 @@ class EventQueue {
     std::size_t cap_ = 0;
   };
 
-  Entry TakeNextEntry();
+  struct Taken {
+    SimTime at;
+    EventId ev;
+  };
+  Taken TakeNextEntry();
   void SiftUp(std::size_t i);
   void SiftDown(std::size_t i);
   void HeapPopTop();
   void DropDeadHeads();
-  // Rebuilds the heap without dead entries once they exceed half of it, so
-  // cancel-heavy workloads (RTO timers under low loss) stay bounded.
+  // Rebuilds the heap without dead chain nodes once they exceed half the
+  // pending pool, so cancel-heavy workloads (RTO timers under low loss)
+  // stay bounded.
   void MaybeCompact();
+  void Compact();
 
-  void LanePush(const Entry& e);
+  void LanePush(const LaneEntry& e);
   void LanePop();
-  const Entry* LaneFront() const {
+  const LaneEntry* LaneFront() const {
     return lane_count_ == 0 ? nullptr : &lane_[lane_head_];
   }
 
   std::vector<std::unique_ptr<Slot[]>> slot_blocks_;
   std::vector<std::uint32_t> free_slots_;
   EntryBuf heap_;
-  std::vector<Entry> lane_;  // circular; size is a power of two
+  std::vector<Node> nodes_;
+  std::uint32_t node_free_ = kNilNode;
+  std::unique_ptr<CohortSet[]> cohort_cache_;
+  std::uint32_t cohort_rr_ = 0;  // round-robin way replacement cursor
+  std::vector<LaneEntry> lane_;  // circular; size is a power of two
   std::size_t lane_head_ = 0;
   std::size_t lane_count_ = 0;
   std::uint64_t seq_ = 1;
   std::size_t live_count_ = 0;
-  std::size_t heap_dead_ = 0;
+  std::size_t heap_nodes_ = 0;  // chain nodes linked into the heap (incl. dead)
+  std::size_t heap_dead_ = 0;   // dead chain nodes
   std::size_t lane_dead_ = 0;
+  Counters counters_;
+  std::vector<std::uint32_t> horizon_scratch_;  // PeekBatchHorizon DFS stack
 };
 
 }  // namespace tdtcp

@@ -7,18 +7,6 @@
 
 namespace tdtcp {
 
-namespace {
-
-// Per-TDN counters recomputed from the scoreboard (the ground truth).
-struct Recount {
-  std::uint32_t packets_out = 0;
-  std::uint32_t sacked_out = 0;
-  std::uint32_t lost_out = 0;
-  std::uint32_t retrans_out = 0;
-};
-
-}  // namespace
-
 const char* TcpInvariantChecker::EventName(Event ev) {
   switch (ev) {
     case Event::kAck: return "ack";
@@ -48,7 +36,8 @@ void TcpInvariantChecker::Check(TcpConnection& conn, Event ev) {
 
   // Recompute every pipe counter from the scoreboard and compare with the
   // per-TDN state the fast paths maintain incrementally.
-  std::vector<Recount> actual(n);
+  recount_scratch_.assign(n, Recount{});
+  std::vector<Recount>& actual = recount_scratch_;
   for (const TxSegment& seg : conn.send_queue().segments()) {
     if (seg.tdn >= n) {
       Violate(conn, ev,

@@ -52,10 +52,21 @@ class TcpInvariantChecker {
   std::uint64_t checks_run() const { return checks_run_; }
 
  private:
+  // Per-TDN counters recomputed from the scoreboard (the ground truth).
+  struct Recount {
+    std::uint32_t packets_out = 0;
+    std::uint32_t sacked_out = 0;
+    std::uint32_t lost_out = 0;
+    std::uint32_t retrans_out = 0;
+  };
+
   [[noreturn]] void Violate(TcpConnection& conn, Event ev,
                             const std::string& what);
 
   std::uint64_t checks_run_ = 0;
+  // Recount scratch: Check runs on every ACK, so the recount buffer is a
+  // member rather than a fresh per-call vector.
+  std::vector<Recount> recount_scratch_;
   // Monotonicity watermarks.
   std::uint64_t last_snd_una_ = 0;
   std::uint64_t last_rcv_nxt_ = 0;

@@ -18,9 +18,18 @@ blows up the p99.9 still fails. Counters are treated as lower-is-better:
 the candidate regresses when its value grows by more than --max-regress
 over the baseline's. Runs lacking a counter are skipped for that counter.
 
+With --write-baseline the candidate document replaces the baseline file
+byte-for-byte after the comparison table is printed (so the delta being
+codified is on the record), and the exit code is 0 even if the table shows
+regressions — re-baselining is a deliberate act, reviewed via the diff of
+the tracked JSON. This replaces hand-editing baseline files.
+
 Typical workflow (EXPERIMENTS.md has the full recipe):
     ./build/bench/bench_micro --out=/tmp/now.json
     tools/bench_compare.py BENCH_sim_core.json /tmp/now.json
+
+    # accept the candidate as the new tracked baseline:
+    tools/bench_compare.py BENCH_sim_core.json /tmp/now.json --write-baseline
 
     ./build/bench/bench_incast --out=/tmp/incast
     tools/bench_compare.py BENCH_incast.json /tmp/incast.json --metric=fct_p99_us
@@ -94,6 +103,11 @@ def main():
                     help="compare these counters[] entries (comma-separated, "
                          "lower is better) instead of cpu time / items/sec; "
                          "every named counter is gated independently")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="after printing the comparison, replace the baseline "
+                         "file with the candidate document (byte-for-byte) "
+                         "and exit 0; the diff of the tracked JSON is the "
+                         "review artifact")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -142,6 +156,20 @@ def main():
         print(f"\nonly in baseline: {', '.join(only_base)}")
     if only_cand:
         print(f"only in candidate: {', '.join(only_cand)}")
+
+    if args.write_baseline:
+        # Byte copy, not a json.dump round-trip: the tracked baseline keeps
+        # exactly the formatting the bench emitter produced.
+        with open(args.candidate, "rb") as f:
+            payload = f.read()
+        with open(args.baseline, "wb") as f:
+            f.write(payload)
+        if regressions:
+            print(f"\nbaseline rewritten: {args.baseline} "
+                  f"(accepting {len(regressions)} regression(s) shown above)")
+        else:
+            print(f"\nbaseline rewritten: {args.baseline}")
+        return 0
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
