@@ -82,9 +82,11 @@ BenchRun ToRun(const Cell& cell, const ExperimentResult& r) {
   c["completed"] = static_cast<double>(r.churn_fct_us.size());
   c["opened"] = static_cast<double>(r.churn.opened);
   c["abnormal"] = static_cast<double>(r.churn.abnormal());
-  c["fct_p50_us"] = Percentile(r.churn_fct_us, 50);
-  c["fct_p99_us"] = Percentile(r.churn_fct_us, 99);
-  c["fct_p999_us"] = Percentile(r.churn_fct_us, 99.9);
+  // Nearest-rank: tail percentiles of a few hundred completions must be
+  // observed samples, not interpolations between order statistics.
+  c["fct_p50_us"] = PercentileNearestRank(r.churn_fct_us, 50);
+  c["fct_p99_us"] = PercentileNearestRank(r.churn_fct_us, 99);
+  c["fct_p999_us"] = PercentileNearestRank(r.churn_fct_us, 99.9);
   c["timeouts"] = static_cast<double>(r.timeouts);
   c["recovery_forced"] = static_cast<double>(r.recovery_forced);
   c["recovery_rescued"] = static_cast<double>(r.recovery_rescued);

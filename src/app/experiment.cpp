@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "fault/fault_injector.hpp"
+#include "rdcn/rotor_controller.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "trace/replayer.hpp"
@@ -49,22 +52,45 @@ ExperimentConfig PaperConfig(Variant v) {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const int plot_weeks = config.plot_weeks;
+  // Rack-pair sanity up front, before any port/host lookup can index past
+  // the rack array (the Workload/ChurnGenerator constructors re-validate,
+  // but the pair controller dereferences ports first).
+  const RackId a = config.workload.src_rack;
+  const RackId b = config.workload.dst_rack;
+  if (a >= config.topology.num_racks || b >= config.topology.num_racks ||
+      a == b) {
+    throw std::invalid_argument(
+        "RunExperiment: invalid workload rack pair (src=" + std::to_string(a) +
+        ", dst=" + std::to_string(b) + ", num_racks=" +
+        std::to_string(config.topology.num_racks) + ")");
+  }
   Simulator sim;
   sim.set_batched_dispatch(config.batched_dispatch);
   Random rng(config.seed);
 
   Topology topo(sim, rng, config.topology);
 
-  RdcnController::Config rc;
-  rc.schedule = config.schedule;
-  rc.packet_mode = config.topology.packet_mode;
-  rc.circuit_mode = config.topology.circuit_mode;
-  rc.dynamic_voq = config.dynamic_voq;
-  const RackId a = config.workload.src_rack;
-  const RackId b = config.workload.dst_rack;
-  RdcnController controller(sim, rc,
-                            {topo.port(a, b), topo.port(b, a)},
-                            {topo.tor(a), topo.tor(b)});
+  // Fabric scheduler: the paper's pair controller, or the RotorNet-style
+  // rotation over every fabric port.
+  std::unique_ptr<RdcnController> controller;
+  std::unique_ptr<RotorController> rotor;
+  if (config.fabric == FabricKind::kRotor) {
+    RotorController::Config rrc;
+    rrc.day_length = config.schedule.day_length;
+    rrc.night_length = config.schedule.night_length;
+    rrc.packet_mode = config.topology.packet_mode;
+    rrc.circuit_mode = config.topology.circuit_mode;
+    rotor = std::make_unique<RotorController>(sim, rrc, &topo);
+  } else {
+    RdcnController::Config rc;
+    rc.schedule = config.schedule;
+    rc.packet_mode = config.topology.packet_mode;
+    rc.circuit_mode = config.topology.circuit_mode;
+    rc.dynamic_voq = config.dynamic_voq;
+    controller = std::make_unique<RdcnController>(
+        sim, rc, std::vector<FabricPort*>{topo.port(a, b), topo.port(b, a)},
+        std::vector<ToRSwitch*>{topo.tor(a), topo.tor(b)});
+  }
 
   // The recovery axis edits the effective transport config (kOff strips
   // RACK and TLP for a pure-RTO baseline) and, for kAgent, plants one agent
@@ -122,7 +148,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::unique_ptr<TraceRecorder> recorder;
   if (config.trace.enabled) {
     trace_ring = std::make_unique<TraceRing>(config.trace.ring_capacity);
-    controller.SetTraceRing(trace_ring.get());
+    // The rotor scheduler has no tracepoints of its own; hosts and endpoints
+    // still put every notification/lifecycle event on the record.
+    if (controller) controller->SetTraceRing(trace_ring.get());
     for (RackId rack = 0; rack < config.topology.num_racks; ++rack) {
       for (std::uint32_t i = 0; i < config.topology.hosts_per_rack; ++i) {
         topo.host(rack, i)->SetTraceRing(trace_ring.get());
@@ -151,7 +179,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
   }
 
-  controller.Start();
+  if (rotor) {
+    rotor->Start();
+  } else {
+    controller->Start();
+  }
   workload.Start();
   if (churn) churn->Start();
   if (recorder) {
@@ -223,7 +255,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   ExperimentResult r;
   r.variant = config.workload.variant;
-  r.week = schedule.week_length();
+  r.week = rotor ? rotor->week_length() : schedule.week_length();
   r.duration = config.duration;
   r.warmup = config.warmup;
   r.total_bytes = bytes_at_end;
@@ -333,6 +365,19 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     r.churn_all_closed = churn->AllClosed();
     r.churn_fct_us.reserve(churn->fcts().size());
     for (SimTime fct : churn->fcts()) r.churn_fct_us.push_back(fct.micros_f());
+    // Per-size-bucket FCT tails over the same completions (nearest-rank: the
+    // tail of a small bucket is an observed sample, not an interpolation).
+    std::vector<double> bucket_us[kNumFctBuckets];
+    for (const SizedFct& sf : churn->sized_fcts()) {
+      bucket_us[FctBucketOf(sf.bytes)].push_back(sf.fct.micros_f());
+    }
+    for (std::size_t bkt = 0; bkt < kNumFctBuckets; ++bkt) {
+      auto& out = r.churn_fct_bucket[bkt];
+      out.count = bucket_us[bkt].size();
+      out.p50_us = PercentileNearestRank(bucket_us[bkt], 50);
+      out.p99_us = PercentileNearestRank(bucket_us[bkt], 99);
+      out.p999_us = PercentileNearestRank(bucket_us[bkt], 99.9);
+    }
   }
 
   // Host recovery agent accounting.

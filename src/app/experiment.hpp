@@ -33,6 +33,17 @@ struct TraceOptions {
   FlowId record_flow = 0;                // 0 = trace only, no recording
 };
 
+// Which scheduler drives the fabric ports.
+enum class FabricKind {
+  // The paper's two-rack evaluation: an RdcnController on the
+  // (workload.src_rack, workload.dst_rack) port pair.
+  kPair,
+  // RotorNet-style N-rack rotation: a RotorController cycling every fabric
+  // port through the N-1 round-robin perfect matchings. Requires an even
+  // topology.num_racks >= 2; connections get per-peer TDN scoping.
+  kRotor,
+};
+
 // Experiment description. The struct doubles as a fluent builder: every
 // field stays public (existing field-poking code keeps working verbatim),
 // and the chainable `With*` setters are the preferred way to express a
@@ -61,6 +72,8 @@ struct ExperimentConfig {
   RecoveryConfig recovery_config;
   // Tracepoint ring / replay recording; disabled by default.
   TraceOptions trace;
+  // Fabric scheduler; see FabricKind. Set via WithRotorFabric().
+  FabricKind fabric = FabricKind::kPair;
   bool dynamic_voq = false;  // reTCPdyn switch cooperation
   SimTime duration = SimTime::Millis(200);
   SimTime warmup = SimTime::Millis(20);
@@ -164,6 +177,31 @@ struct ExperimentConfig {
     churn.enabled = true;
     return *this;
   }
+  // N-rack RotorNet-style fabric: `num_racks` racks (even, >= 2) driven by a
+  // RotorController, with every connection's TDN notifications scoped to its
+  // peer's rack (each rack pair has its own day/night phase, so fabric-wide
+  // notifications would corrupt unrelated flows' TDN views).
+  ExperimentConfig& WithRotorFabric(std::uint32_t num_racks) {
+    fabric = FabricKind::kRotor;
+    topology.num_racks = num_racks;
+    workload.scope_tdn_to_peer = true;
+    churn.scope_tdn_to_peer = true;
+    return *this;
+  }
+  // Churn rack-selection policy (see RackPolicy). kHotspot aims
+  // `hotspot_fraction` of arrivals at `hotspot_rack`.
+  ExperimentConfig& WithRackPolicy(RackPolicy p) {
+    churn.rack_policy = p;
+    return *this;
+  }
+  // Heavy-tailed churn transfer sizes from a flow-size CDF, optionally
+  // scaled (bytes = max(1, round(sample * scale))).
+  ExperimentConfig& WithFlowSizeCdf(std::shared_ptr<const FlowSizeCdf> cdf,
+                                    double scale = 1.0) {
+    churn.size_cdf = std::move(cdf);
+    churn.size_scale = scale;
+    return *this;
+  }
   ExperimentConfig& WithTrace(std::size_t ring_capacity = 1u << 16) {
     trace.enabled = true;
     trace.ring_capacity = ring_capacity;
@@ -236,6 +274,16 @@ struct ExperimentResult {
   // Per-cycle flow completion times (µs) of kNormal churn closes, in
   // completion order; empty when churn was disabled.
   std::vector<double> churn_fct_us;
+  // Per-size-bucket FCT tails (nearest-rank percentiles of the same
+  // completions, split by requested transfer size — see kFctBucketNames /
+  // kFctBucketUpperBytes). Empty buckets report zero percentiles.
+  struct FctBucketSummary {
+    std::uint64_t count = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double p999_us = 0;
+  };
+  FctBucketSummary churn_fct_bucket[kNumFctBuckets];
 
   // Host recovery agent accounting, summed over every host's agent (all
   // zero unless the run used RecoveryMode::kAgent).

@@ -1,0 +1,144 @@
+#include "app/flow_cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdtcp {
+
+FlowSizeCdf::FlowSizeCdf(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("FlowSizeCdf '" + name_ +
+                                "': need at least two (bytes, cum) rows");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (!(p.bytes >= 0) || !(p.cum >= 0) || !(p.cum <= 1)) {
+      throw std::invalid_argument("FlowSizeCdf '" + name_ +
+                                  "': row out of range at index " +
+                                  std::to_string(i));
+    }
+    if (i > 0 && (p.bytes < points_[i - 1].bytes ||
+                  p.cum < points_[i - 1].cum)) {
+      throw std::invalid_argument("FlowSizeCdf '" + name_ +
+                                  "': bytes/cum must be nondecreasing (row " +
+                                  std::to_string(i) + ")");
+    }
+  }
+  if (points_.back().cum != 1.0) {
+    throw std::invalid_argument("FlowSizeCdf '" + name_ +
+                                "': last row must have cum == 1");
+  }
+}
+
+FlowSizeCdf FlowSizeCdf::Websearch() {
+  // DCTCP §2.2 web-search flow sizes, as distributed with the
+  // pFabric/Conga-style simulation scripts. Mean ≈ 1.71 MB.
+  return FlowSizeCdf("websearch", {
+                                      {0, 0},
+                                      {10'000, 0.15},
+                                      {20'000, 0.20},
+                                      {30'000, 0.30},
+                                      {50'000, 0.40},
+                                      {80'000, 0.53},
+                                      {200'000, 0.60},
+                                      {1'000'000, 0.70},
+                                      {2'000'000, 0.80},
+                                      {5'000'000, 0.90},
+                                      {10'000'000, 0.97},
+                                      {30'000'000, 1.00},
+                                  });
+}
+
+FlowSizeCdf FlowSizeCdf::Datamining() {
+  // VL2 data-mining flow sizes: mostly mice, bytes in a super-heavy tail.
+  return FlowSizeCdf("datamining", {
+                                       {80, 0},
+                                       {180, 0.10},
+                                       {250, 0.20},
+                                       {560, 0.30},
+                                       {900, 0.40},
+                                       {1'100, 0.50},
+                                       {1'870, 0.60},
+                                       {3'160, 0.70},
+                                       {10'000, 0.80},
+                                       {400'000, 0.90},
+                                       {3'160'000, 0.95},
+                                       {100'000'000, 0.98},
+                                       {1'000'000'000, 1.00},
+                                   });
+}
+
+FlowSizeCdf FlowSizeCdf::FromFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::invalid_argument("FlowSizeCdf: cannot open " + path);
+  }
+  std::vector<Point> points;
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream row(line);
+    std::vector<double> cols;
+    double v;
+    while (row >> v) cols.push_back(v);
+    if (cols.empty()) continue;  // blank / comment-only line
+    if (cols.size() < 2) {
+      throw std::invalid_argument("FlowSizeCdf: " + path +
+                                  ": row needs >= 2 columns: '" + line + "'");
+    }
+    // cdf.h format: first column bytes, last column cumulative probability
+    // (classic three-column files carry an unused middle field).
+    points.push_back(Point{cols.front(), cols.back()});
+  }
+  return FlowSizeCdf(path, std::move(points));
+}
+
+double FlowSizeCdf::BytesAtQuantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  if (u <= points_.front().cum) return points_.front().bytes;
+  // First row with cum >= u; rows are nondecreasing in cum.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const Point& p, double q) { return p.cum < q; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.cum - lo.cum;
+  if (span <= 0) return hi.bytes;  // vertical step: the whole mass sits here
+  const double frac = (u - lo.cum) / span;
+  return lo.bytes + frac * (hi.bytes - lo.bytes);
+}
+
+std::uint64_t FlowSizeCdf::Sample(Random& rng) const {
+  const double bytes = BytesAtQuantile(rng.UniformDouble(0.0, 1.0));
+  return static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::llround(bytes)));
+}
+
+double FlowSizeCdf::MeanBytes() const {
+  // Trapezoid rule over the rows; mass below the first row (cum_0 > 0)
+  // sits entirely at the first row's size.
+  double mean = points_.front().cum * points_.front().bytes;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cum - points_[i - 1].cum;
+    mean += mass * 0.5 * (points_[i].bytes + points_[i - 1].bytes);
+  }
+  return mean;
+}
+
+std::shared_ptr<const FlowSizeCdf> BuiltinFlowSizeCdf(const std::string& name) {
+  if (name == "websearch") {
+    return std::make_shared<const FlowSizeCdf>(FlowSizeCdf::Websearch());
+  }
+  if (name == "datamining") {
+    return std::make_shared<const FlowSizeCdf>(FlowSizeCdf::Datamining());
+  }
+  throw std::invalid_argument("unknown built-in flow-size CDF: " + name +
+                              " (expected websearch | datamining)");
+}
+
+}  // namespace tdtcp

@@ -1,0 +1,78 @@
+// Flow-size distributions for production-style traffic: a deterministic
+// piecewise-linear inverse-CDF sampler, the standard DC methodology for
+// driving heavy-tailed workloads (the ns-3 "cdf.h" traffic-generator idiom:
+// a table of (bytes, cumulative probability) rows, sampled by inverse
+// transform with linear interpolation between rows).
+//
+// Two distributions ship built in — the web-search (DCTCP §2.2) and
+// data-mining (VL2) flow-size tables as commonly distributed with the
+// pFabric/Conga-style simulation scripts — plus a loader for the on-disk
+// "cdf.h" table format so operators can bring their own traces.
+//
+// Sampling is deterministic: one uniform draw per sample from the caller's
+// seeded Random stream, so the same seed always yields the same flow-size
+// sequence regardless of thread count or machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace tdtcp {
+
+class FlowSizeCdf {
+ public:
+  struct Point {
+    double bytes = 0;  // flow size at this row
+    double cum = 0;    // P(size <= bytes), nondecreasing, last row == 1
+  };
+
+  // Validates the table: at least two rows, bytes and cum both
+  // nondecreasing, cum within [0, 1] with the last row at exactly 1.
+  // Throws std::invalid_argument otherwise.
+  FlowSizeCdf(std::string name, std::vector<Point> points);
+
+  // The web-search flow-size distribution (DCTCP §2.2): ~60% of flows under
+  // 200 KB but ~95% of bytes in the >1 MB tail. Mean ≈ 1.71 MB.
+  static FlowSizeCdf Websearch();
+
+  // The data-mining flow-size distribution (VL2): ~80% of flows under
+  // 10 KB, with a 100 MB–1 GB super-heavy tail carrying most bytes.
+  static FlowSizeCdf Datamining();
+
+  // Loads the ns-3 "cdf.h" table format: one row per line, whitespace
+  // separated, first column = size in bytes, last column = cumulative
+  // probability (a middle column, when present, is ignored — the classic
+  // three-column files carry an unused field). '#' starts a comment.
+  static FlowSizeCdf FromFile(const std::string& path);
+
+  // Inverse CDF at u in [0, 1]: linear interpolation in bytes between the
+  // bracketing rows (u below the first row's cum returns the first row's
+  // bytes). Exposed for tests; Sample() is the sampling entry point.
+  double BytesAtQuantile(double u) const;
+
+  // Draws one flow size: a single UniformDouble(0,1) from `rng`, mapped
+  // through the inverse CDF and rounded, never less than 1 byte.
+  std::uint64_t Sample(Random& rng) const;
+
+  // Analytic mean of the piecewise-linear distribution (trapezoid rule over
+  // the rows) — the reference the determinism tests check sample means
+  // against.
+  double MeanBytes() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Convenience: the built-in distribution with this name ("websearch" or
+// "datamining"); throws std::invalid_argument for anything else.
+std::shared_ptr<const FlowSizeCdf> BuiltinFlowSizeCdf(const std::string& name);
+
+}  // namespace tdtcp

@@ -123,6 +123,21 @@ void ApplyMetric(ExperimentResult& r, const std::string& name, double value) {
   else if (name == "sim_cohort_hits") r.sim_cohort_hits = u64();
   else if (name == "sim_dead_dropped") r.sim_dead_dropped = u64();
   else if (name == "sim_compactions") r.sim_compactions = u64();
+  else if (name.rfind("churn_fct_", 0) == 0) {
+    // Per-size-bucket FCT family: churn_fct_<bucket>_{count,p50_us,...}.
+    for (std::size_t bkt = 0; bkt < kNumFctBuckets; ++bkt) {
+      const std::string prefix = std::string("churn_fct_") +
+                                 kFctBucketNames[bkt] + "_";
+      if (name.rfind(prefix, 0) != 0) continue;
+      const std::string field = name.substr(prefix.size());
+      auto& bucket = r.churn_fct_bucket[bkt];
+      if (field == "count") bucket.count = u64();
+      else if (field == "p50_us") bucket.p50_us = value;
+      else if (field == "p99_us") bucket.p99_us = value;
+      else if (field == "p999_us") bucket.p999_us = value;
+      break;
+    }
+  }
   // Unknown metrics from a newer minor schema are ignored.
 }
 

@@ -133,6 +133,24 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"sim_cohort_hits", static_cast<double>(r.sim_cohort_hits)},
       {"sim_dead_dropped", static_cast<double>(r.sim_dead_dropped)},
       {"sim_compactions", static_cast<double>(r.sim_compactions)},
+      // Per-size-bucket FCT tails (this PR); appended at the end like the
+      // families above. Bucket b: count + nearest-rank p50/p99/p99.9 in µs.
+      {"churn_fct_s_count", static_cast<double>(r.churn_fct_bucket[0].count)},
+      {"churn_fct_s_p50_us", r.churn_fct_bucket[0].p50_us},
+      {"churn_fct_s_p99_us", r.churn_fct_bucket[0].p99_us},
+      {"churn_fct_s_p999_us", r.churn_fct_bucket[0].p999_us},
+      {"churn_fct_m_count", static_cast<double>(r.churn_fct_bucket[1].count)},
+      {"churn_fct_m_p50_us", r.churn_fct_bucket[1].p50_us},
+      {"churn_fct_m_p99_us", r.churn_fct_bucket[1].p99_us},
+      {"churn_fct_m_p999_us", r.churn_fct_bucket[1].p999_us},
+      {"churn_fct_l_count", static_cast<double>(r.churn_fct_bucket[2].count)},
+      {"churn_fct_l_p50_us", r.churn_fct_bucket[2].p50_us},
+      {"churn_fct_l_p99_us", r.churn_fct_bucket[2].p99_us},
+      {"churn_fct_l_p999_us", r.churn_fct_bucket[2].p999_us},
+      {"churn_fct_xl_count", static_cast<double>(r.churn_fct_bucket[3].count)},
+      {"churn_fct_xl_p50_us", r.churn_fct_bucket[3].p50_us},
+      {"churn_fct_xl_p99_us", r.churn_fct_bucket[3].p99_us},
+      {"churn_fct_xl_p999_us", r.churn_fct_bucket[3].p999_us},
   };
 }
 

@@ -34,6 +34,31 @@ Variant VariantFromName(std::string_view name) {
   throw std::invalid_argument("unknown variant: " + std::string(name));
 }
 
+std::size_t FctBucketOf(std::uint64_t bytes) {
+  for (std::size_t b = 0; b + 1 < kNumFctBuckets; ++b) {
+    if (bytes <= kFctBucketUpperBytes[b]) return b;
+  }
+  return kNumFctBuckets - 1;
+}
+
+const char* RackPolicyName(RackPolicy p) {
+  switch (p) {
+    case RackPolicy::kFixedPair: return "pair";
+    case RackPolicy::kUniform: return "uniform";
+    case RackPolicy::kPermutation: return "permutation";
+    case RackPolicy::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+RackPolicy RackPolicyFromName(std::string_view name) {
+  if (name == "pair") return RackPolicy::kFixedPair;
+  if (name == "uniform") return RackPolicy::kUniform;
+  if (name == "permutation") return RackPolicy::kPermutation;
+  if (name == "hotspot") return RackPolicy::kHotspot;
+  throw std::invalid_argument("unknown rack policy: " + std::string(name));
+}
+
 TcpConfig MakeVariantConfig(Variant v, TcpConfig base) {
   switch (v) {
     case Variant::kReno:
@@ -109,9 +134,47 @@ std::uint64_t Flow::duplicate_segments() const {
   return 0;
 }
 
+namespace {
+
+// Rack-pair sanity shared by Workload and fixed-pair churn. Throws (not
+// assert): the default RelWithDebInfo build defines NDEBUG, and a bad rack
+// index must not silently read past the rack array.
+void ValidateRackPair(const Topology& topo, RackId src, RackId dst,
+                      const char* what) {
+  const std::uint32_t racks = topo.config().num_racks;
+  if (src >= racks || dst >= racks) {
+    throw std::invalid_argument(
+        std::string(what) + ": rack out of range (src=" + std::to_string(src) +
+        ", dst=" + std::to_string(dst) + ", num_racks=" +
+        std::to_string(racks) + ")");
+  }
+  if (src == dst) {
+    throw std::invalid_argument(
+        std::string(what) + ": src_rack == dst_rack (" + std::to_string(src) +
+        ") — intra-rack traffic never touches a fabric port");
+  }
+}
+
+// SplitMix64: derives a well-mixed per-source seed from a node id so source
+// streams are independent even for adjacent ids.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Workload::Workload(Simulator& sim, Topology& topo, WorkloadConfig config)
     : config_(std::move(config)) {
-  assert(config_.num_flows <= topo.config().hosts_per_rack);
+  ValidateRackPair(topo, config_.src_rack, config_.dst_rack, "Workload");
+  if (config_.num_flows > topo.config().hosts_per_rack) {
+    throw std::invalid_argument(
+        "Workload: num_flows (" + std::to_string(config_.num_flows) +
+        ") exceeds hosts_per_rack (" +
+        std::to_string(topo.config().hosts_per_rack) + ")");
+  }
   for (std::uint32_t i = 0; i < config_.num_flows; ++i) {
     const FlowId id = config_.first_flow_id + i;
     Host* src = topo.host(config_.src_rack, i);
@@ -125,9 +188,14 @@ Workload::Workload(Simulator& sim, Topology& topo, WorkloadConfig config)
       flow.mptcp_sender = std::make_unique<MptcpConnection>(
           sim, src, id, dst->id(), mc);
     } else {
-      const TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+      TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+      TcpConfig rc = tc;
+      if (config_.scope_tdn_to_peer) {
+        tc.peer_rack = config_.dst_rack;
+        rc.peer_rack = config_.src_rack;
+      }
       flow.tcp_receiver = std::make_unique<TcpConnection>(
-          sim, dst, id, src->id(), tc);
+          sim, dst, id, src->id(), rc);
       flow.tcp_sender = std::make_unique<TcpConnection>(
           sim, src, id, dst->id(), tc);
     }
@@ -187,9 +255,54 @@ ChurnGenerator::ChurnGenerator(Simulator& sim, Topology& topo,
     throw std::invalid_argument(
         "churn uses plain TcpConnection pairs; pick a non-MPTCP variant");
   }
-  assert(config_.max_concurrent > 0);
-  assert(config_.min_transfer_bytes > 0 &&
-         config_.min_transfer_bytes <= config_.max_transfer_bytes);
+  if (config_.max_concurrent == 0) {
+    throw std::invalid_argument("churn: max_concurrent must be > 0");
+  }
+  if (config_.min_transfer_bytes == 0 ||
+      config_.min_transfer_bytes > config_.max_transfer_bytes) {
+    throw std::invalid_argument(
+        "churn: need 0 < min_transfer_bytes <= max_transfer_bytes");
+  }
+  const std::uint32_t racks = topo_.config().num_racks;
+  if (config_.rack_policy == RackPolicy::kFixedPair) {
+    ValidateRackPair(topo_, config_.src_rack, config_.dst_rack, "churn");
+  } else {
+    if (racks < 2) {
+      throw std::invalid_argument(
+          "churn: multi-source rack policies need num_racks >= 2 (got " +
+          std::to_string(racks) + ")");
+    }
+    if (config_.rack_policy == RackPolicy::kHotspot) {
+      if (config_.hotspot_rack >= racks) {
+        throw std::invalid_argument(
+            "churn: hotspot_rack " + std::to_string(config_.hotspot_rack) +
+            " out of range (num_racks=" + std::to_string(racks) + ")");
+      }
+      if (config_.hotspot_fraction < 0.0 || config_.hotspot_fraction > 1.0) {
+        throw std::invalid_argument(
+            "churn: hotspot_fraction must be in [0, 1]");
+      }
+    }
+    // Every host in every rack is an independent source. Stream seeds are
+    // splitmix-derived from the node id so a source's draws do not depend on
+    // how its arrivals interleave with other sources'.
+    sources_.reserve(static_cast<std::size_t>(racks) *
+                     topo_.config().hosts_per_rack);
+    for (RackId r = 0; r < racks; ++r) {
+      for (std::uint32_t h = 0; h < topo_.config().hosts_per_rack; ++h) {
+        Source s;
+        s.rack = r;
+        s.host = h;
+        s.rng = Random(seed ^ config_.seed_salt ^
+                       SplitMix64(topo_.host_id(r, h) + 1));
+        sources_.push_back(std::move(s));
+      }
+    }
+    if (config_.rack_policy == RackPolicy::kPermutation) {
+      permutation_shift_ = static_cast<RackId>(
+          rng_.UniformInt(1, static_cast<std::int64_t>(racks) - 1));
+    }
+  }
   // Lowest index pops first.
   free_.reserve(slots_.size());
   for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i > 0; --i) {
@@ -197,7 +310,15 @@ ChurnGenerator::ChurnGenerator(Simulator& sim, Topology& topo,
   }
 }
 
-void ChurnGenerator::Start() { ScheduleArrival(); }
+void ChurnGenerator::Start() {
+  if (config_.rack_policy == RackPolicy::kFixedPair) {
+    ScheduleArrival();
+    return;
+  }
+  for (std::uint32_t s = 0; s < sources_.size(); ++s) {
+    ScheduleSourceArrival(s);
+  }
+}
 
 void ChurnGenerator::ScheduleArrival() {
   if (stats_.opened >= config_.target_connections) return;
@@ -215,6 +336,79 @@ void ChurnGenerator::OnArrival() {
     ScheduleArrival();
     return;
   }
+  const std::uint64_t bytes = DrawBytes(rng_);
+  const std::uint32_t host_idx =
+      free_.back() % topo_.config().hosts_per_rack;
+  OpenSlot(config_.src_rack, host_idx, config_.dst_rack, host_idx, bytes);
+  ScheduleArrival();
+}
+
+void ChurnGenerator::ScheduleSourceArrival(std::uint32_t s) {
+  if (stats_.opened >= config_.target_connections) return;
+  const double mean_ps =
+      static_cast<double>(config_.mean_interarrival.picos());
+  const auto gap_ps = std::max<std::int64_t>(
+      1, std::llround(sources_[s].rng.Exponential(mean_ps)));
+  sim_.Schedule(SimTime::Picos(gap_ps), [this, s] { OnSourceArrival(s); });
+}
+
+void ChurnGenerator::OnSourceArrival(std::uint32_t s) {
+  if (stats_.opened >= config_.target_connections) return;
+  Source& src = sources_[s];
+  if (free_.empty()) {
+    ++stats_.deferred;
+    ScheduleSourceArrival(s);
+    return;
+  }
+  const RackId dst_rack = PickDstRack(src.rack, src.rng);
+  const std::uint32_t dst_host = static_cast<std::uint32_t>(src.rng.UniformInt(
+      0, static_cast<std::int64_t>(topo_.config().hosts_per_rack) - 1));
+  const std::uint64_t bytes = DrawBytes(src.rng);
+  OpenSlot(src.rack, src.host, dst_rack, dst_host, bytes);
+  ScheduleSourceArrival(s);
+}
+
+RackId ChurnGenerator::PickDstRack(RackId src_rack, Random& rng) {
+  const std::uint32_t racks = topo_.config().num_racks;
+  switch (config_.rack_policy) {
+    case RackPolicy::kFixedPair:
+      return config_.dst_rack;
+    case RackPolicy::kPermutation:
+      return (src_rack + permutation_shift_) % racks;
+    case RackPolicy::kHotspot:
+      if (src_rack != config_.hotspot_rack &&
+          rng.Bernoulli(config_.hotspot_fraction)) {
+        return config_.hotspot_rack;
+      }
+      break;  // fall through to uniform-excluding-self
+    case RackPolicy::kUniform:
+      break;
+  }
+  const RackId r = static_cast<RackId>(
+      rng.UniformInt(0, static_cast<std::int64_t>(racks) - 2));
+  return r >= src_rack ? r + 1 : r;
+}
+
+std::uint64_t ChurnGenerator::DrawBytes(Random& rng) {
+  if (config_.size_cdf == nullptr) {
+    return static_cast<std::uint64_t>(rng.UniformInt(
+        static_cast<std::int64_t>(config_.min_transfer_bytes),
+        static_cast<std::int64_t>(config_.max_transfer_bytes)));
+  }
+  std::uint64_t bytes = config_.size_cdf->Sample(rng);
+  if (config_.size_scale != 1.0) {
+    bytes = static_cast<std::uint64_t>(std::max<double>(
+        1.0, std::llround(static_cast<double>(bytes) * config_.size_scale)));
+  }
+  if (config_.size_cap_bytes != 0) {
+    bytes = std::min(bytes, config_.size_cap_bytes);
+  }
+  return bytes;
+}
+
+void ChurnGenerator::OpenSlot(RackId src_rack, std::uint32_t src_host,
+                              RackId dst_rack, std::uint32_t dst_host,
+                              std::uint64_t bytes) {
   const std::uint32_t idx = free_.back();
   free_.pop_back();
   Slot& slot = slots_[idx];
@@ -224,16 +418,19 @@ void ChurnGenerator::OnArrival() {
   slot.sender_reason = CloseReason::kNone;
   slot.receiver_reason = CloseReason::kNone;
   slot.in_use = true;
+  slot.bytes = bytes;
 
-  const std::uint64_t bytes = static_cast<std::uint64_t>(rng_.UniformInt(
-      static_cast<std::int64_t>(config_.min_transfer_bytes),
-      static_cast<std::int64_t>(config_.max_transfer_bytes)));
-  const std::uint32_t host_idx = idx % topo_.config().hosts_per_rack;
-  Host* src = topo_.host(config_.src_rack, host_idx);
-  Host* dst = topo_.host(config_.dst_rack, host_idx);
+  Host* src = topo_.host(src_rack, src_host);
+  Host* dst = topo_.host(dst_rack, dst_host);
+  slot.src_node = src->id();
+  slot.dst_node = dst->id();
 
-  const TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+  TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
   TcpConfig rc = tc;
+  if (config_.scope_tdn_to_peer) {
+    tc.peer_rack = dst_rack;
+    rc.peer_rack = src_rack;
+  }
   rc.close_on_peer_fin = true;  // server: close as soon as the request ends
   slot.receiver = std::make_unique<TcpConnection>(sim_, dst, slot.flow,
                                                   src->id(), rc);
@@ -257,7 +454,6 @@ void ChurnGenerator::OnArrival() {
                                [this, idx] { OnSlotTimeout(idx); });
   ++stats_.opened;
   ++active_;
-  ScheduleArrival();
 }
 
 void ChurnGenerator::OnEndClosed(std::uint32_t idx, bool sender_end,
@@ -281,8 +477,12 @@ void ChurnGenerator::OnEndClosed(std::uint32_t idx, bool sender_end,
   stats_.bytes_completed += slot.sender->bytes_acked();
   if (slot.sender_reason == CloseReason::kNormal) {
     fcts_.push_back(sim_.now() - slot.opened_at);
+    sized_fcts_.push_back(SizedFct{slot.bytes, sim_.now() - slot.opened_at});
   }
   Fold(slot.flow);
+  Fold(slot.src_node);
+  Fold(slot.dst_node);
+  Fold(slot.bytes);
   Fold(static_cast<std::uint64_t>(slot.opened_at.picos()));
   Fold(static_cast<std::uint64_t>(sim_.now().picos()));
   Fold((static_cast<std::uint64_t>(slot.sender_reason) << 8) |

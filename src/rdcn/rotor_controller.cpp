@@ -1,14 +1,21 @@
 #include "rdcn/rotor_controller.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace tdtcp {
 
 RotorController::RotorController(Simulator& sim, Config config, Topology* topo)
     : sim_(sim), config_(config), topo_(topo) {
-  assert(topo_->config().num_racks >= 2);
-  assert(topo_->config().num_racks % 2 == 0 &&
-         "round-robin matchings need an even rack count");
+  // Throw, don't assert: the default build defines NDEBUG, and an odd rack
+  // count would silently build garbage matchings (the circle method pairs
+  // slot i with slot n-1-i, which only covers everyone for even n).
+  const std::uint32_t racks = topo_->config().num_racks;
+  if (racks < 2 || racks % 2 != 0) {
+    throw std::invalid_argument(
+        "RotorController: round-robin matchings need an even rack count >= 2 "
+        "(got " + std::to_string(racks) + ")");
+  }
   BuildMatchings();
 }
 

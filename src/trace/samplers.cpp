@@ -102,6 +102,18 @@ double Percentile(const std::vector<double>& values, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double PercentileNearestRank(const std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * n));  // 1-based
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
 void WriteSeriesCsv(const std::string& path,
                     const std::vector<NamedSeries>& series) {
   std::ofstream f(path);

@@ -66,7 +66,14 @@ struct CdfPoint {
   double probability;
 };
 std::vector<CdfPoint> MakeCdf(std::vector<double> values);
+// Linear-interpolated percentile (matplotlib-style): idx = p/100 * (N-1),
+// lerp between the bracketing order statistics. Smooth for plotting curves.
 double Percentile(const std::vector<double>& values, double p);
+// Nearest-rank percentile: the ceil(p/100 * N)-th order statistic (1-based),
+// clamped to [1, N]; empty input returns 0. Always an observed sample — the
+// right semantics for tail gating (p99 of N=2 is the max, not an average),
+// and what the FCT reporting uses.
+double PercentileNearestRank(const std::vector<double>& values, double p);
 
 // --- output helpers ---------------------------------------------------------
 
