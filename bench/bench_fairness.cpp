@@ -26,7 +26,8 @@ struct FairnessResult {
 FairnessResult MeasureFairness(Variant v, int ms, int flows, bool rdcn) {
   ExperimentConfig cfg = PaperConfig(v);
   cfg.workload.num_flows = static_cast<std::uint32_t>(flows);
-  if (!rdcn) cfg.schedule.circuit_day = 99;  // static packet network control
+  // Static packet network control: the circuit never visits this pair.
+  if (!rdcn) cfg.schedule.circuit_day = ScheduleConfig::kNoCircuitDay;
   Simulator sim;
   Random rng(cfg.seed);
   Topology topo(sim, rng, cfg.topology);

@@ -5,7 +5,8 @@
 //
 // Every bench accepts the shared flags
 //     ./bench_xxx [duration_ms] [--duration-ms=D] [--jobs=N] [--seeds=K]
-//                 [--qdisc=NAME] [--out=path]
+//                 [--qdisc=NAME] [--out=path] [--schedule-jitter=US]
+//                 [--day-skew=S]
 // --jobs=0 (the default) uses one worker per hardware thread; results are
 // bit-identical at any job count. --seeds=K averages K deterministic seeds
 // per configuration and reports mean +/- 95% CI. --qdisc selects the VOQ
@@ -36,6 +37,12 @@ struct BenchArgs {
   std::string qdisc;  // VOQ discipline name ("" = config default)
   std::string recovery;  // recovery mode name ("" = config default)
   std::string out;    // base path for sweep JSON/CSV ("" = don't write)
+  // Adversarial-schedule axes, applied to every run (0 = nominal schedule):
+  // --schedule-jitter=J adds a uniform +/- J µs draw to every day/night
+  // boundary; --day-skew=S stretches even days by (1+S) and shrinks odd days
+  // by (1-S), S in [0, 1).
+  double schedule_jitter_us = 0.0;
+  double day_skew = 0.0;
 
   std::vector<std::uint64_t> SeedList() const {
     std::vector<std::uint64_t> s;
@@ -79,12 +86,26 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv, int default_ms) {
       }
     } else if (std::strncmp(a, "--out=", 6) == 0) {
       args.out = a + 6;
+    } else if (std::strncmp(a, "--schedule-jitter=", 18) == 0) {
+      args.schedule_jitter_us = std::atof(a + 18);
+      if (args.schedule_jitter_us < 0.0) {
+        std::fprintf(stderr, "%s: --schedule-jitter must be >= 0 µs\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (std::strncmp(a, "--day-skew=", 11) == 0) {
+      args.day_skew = std::atof(a + 11);
+      if (args.day_skew < 0.0 || args.day_skew >= 1.0) {
+        std::fprintf(stderr, "%s: --day-skew must be in [0, 1)\n", argv[0]);
+        std::exit(2);
+      }
     } else if (a[0] != '-' && std::atoi(a) > 0) {
       args.duration_ms = std::atoi(a);  // legacy positional [duration_ms]
     } else {
       std::fprintf(stderr,
                    "usage: %s [duration_ms] [--duration-ms=D] [--jobs=N] "
-                   "[--seeds=K] [--qdisc=NAME] [--recovery=MODE] [--out=path]\n",
+                   "[--seeds=K] [--qdisc=NAME] [--recovery=MODE] [--out=path] "
+                   "[--schedule-jitter=US] [--day-skew=S]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -105,6 +126,17 @@ inline void ApplyRecovery(ExperimentConfig& cfg, const BenchArgs& args) {
   if (!args.recovery.empty()) {
     cfg.WithRecovery(RecoveryModeFromName(args.recovery));
   }
+}
+
+// Applies --schedule-jitter / --day-skew (when given): every bench binary
+// runs under a perturbed rotor schedule without per-bench plumbing.
+inline void ApplyPerturbation(ExperimentConfig& cfg, const BenchArgs& args) {
+  if (args.schedule_jitter_us == 0.0 && args.day_skew == 0.0) return;
+  PerturbationConfig p = cfg.perturb;  // keep any bench-specific changes
+  p.day_skew = args.day_skew;
+  p.jitter = SimTime::Picos(
+      static_cast<std::int64_t>(args.schedule_jitter_us * 1e6));
+  cfg.WithSchedulePerturbation(std::move(p));
 }
 
 struct VariantRun {
@@ -145,6 +177,7 @@ inline std::vector<VariantRun> RunVariants(const std::vector<Variant>& variants,
   spec.base = base;
   ApplyQdisc(spec.base, args);
   ApplyRecovery(spec.base, args);
+  ApplyPerturbation(spec.base, args);
   spec.variants = variants;
   spec.seeds = args.SeedList();
   spec.jobs = args.jobs;

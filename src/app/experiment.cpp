@@ -80,6 +80,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     rrc.night_length = config.schedule.night_length;
     rrc.packet_mode = config.topology.packet_mode;
     rrc.circuit_mode = config.topology.circuit_mode;
+    rrc.perturb = config.perturb;
+    rrc.seed = config.seed;
     rotor = std::make_unique<RotorController>(sim, rrc, &topo);
   } else {
     RdcnController::Config rc;
@@ -87,9 +89,28 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     rc.packet_mode = config.topology.packet_mode;
     rc.circuit_mode = config.topology.circuit_mode;
     rc.dynamic_voq = config.dynamic_voq;
+    rc.perturb = config.perturb;
+    rc.seed = config.seed;
     controller = std::make_unique<RdcnController>(
         sim, rc, std::vector<FabricPort*>{topo.port(a, b), topo.port(b, a)},
         std::vector<ToRSwitch*>{topo.tor(a), topo.tor(b)});
+  }
+  // TDN-count changes travel the management plane: the controller's reconfig
+  // hook fans out to every host synchronously (not via the lossy ICMP path),
+  // and each listening connection retires its surplus per-TDN state sets.
+  if (!config.perturb.Empty()) {
+    auto reconfig = [&topo, &config](std::uint32_t live_tdns) {
+      for (RackId rack = 0; rack < config.topology.num_racks; ++rack) {
+        for (std::uint32_t i = 0; i < config.topology.hosts_per_rack; ++i) {
+          topo.host(rack, i)->DistributeTdnReconfig(live_tdns);
+        }
+      }
+    };
+    if (rotor) {
+      rotor->SetReconfigHook(reconfig);
+    } else {
+      controller->SetReconfigHook(reconfig);
+    }
   }
 
   // The recovery axis edits the effective transport config (kOff strips
@@ -352,10 +373,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       r.timeouts += f.tcp_sender->stats().timeouts;
       r.cross_tdn_exemptions += f.tcp_sender->stats().cross_tdn_exemptions;
       r.tdn_inferred_switches += f.tcp_sender->stats().tdn_inferred_switches;
+      r.tdn_reconfigs += f.tcp_sender->stats().tdn_reconfigs;
     }
     if (f.tcp_receiver) {
       r.tdn_inferred_switches += f.tcp_receiver->stats().tdn_inferred_switches;
+      r.tdn_reconfigs += f.tcp_receiver->stats().tdn_reconfigs;
     }
+  }
+
+  // Schedule-perturbation accounting.
+  if (rotor) {
+    r.schedule_changes = rotor->schedule_changes_applied();
+    r.restart_holds = rotor->restart_holds();
+  } else if (controller) {
+    r.schedule_changes = controller->schedule_changes_applied();
+    r.restart_holds = controller->restart_holds();
   }
 
   // Connection-churn accounting.
@@ -438,6 +470,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       r.recorded =
           std::make_shared<RecordedConnection>(recorder->Finish(*trace_ring));
     }
+    // Convergence oracle over the post-warmup cwnd evolution of every traced
+    // flow (long-lived and churned alike — both emit kTcpCwndUpdate).
+    ConvergenceConfig oracle = config.stability;
+    oracle.from_ps = config.warmup.picos();
+    const ConvergenceReport report =
+        ClassifyConvergence(trace_ring->Snapshot(), oracle);
+    r.stability_converged = report.flows_converged;
+    r.stability_oscillating = report.flows_oscillating;
+    r.stability_starved = report.flows_starved;
+    r.stability_insufficient = report.flows_insufficient;
+    r.stability_worst_amplitude = report.worst_amplitude;
+    r.stability_worst_period_us = report.worst_period_us;
   }
   return r;
 }

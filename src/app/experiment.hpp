@@ -16,6 +16,8 @@
 #include "tcp/recovery_agent.hpp"
 #include "net/topology.hpp"
 #include "rdcn/controller.hpp"
+#include "rdcn/perturbation.hpp"
+#include "trace/convergence.hpp"
 #include "trace/samplers.hpp"
 #include "trace/trace_io.hpp"
 
@@ -63,6 +65,14 @@ struct ExperimentConfig {
   ChurnConfig churn;
   // Fault scenario; an empty plan (the default) arms no injector.
   FaultPlan fault;
+  // Adversarial-schedule perturbations (rdcn/perturbation.hpp): day skew,
+  // boundary jitter, mid-flow schedule changes, controller-restart windows.
+  // Empty (the default) arms nothing. Composes with `fault`.
+  PerturbationConfig perturb;
+  // Convergence-oracle thresholds for the stability_* result fields. Only
+  // consulted when tracing is enabled (the oracle reads the trace ring);
+  // from_ps is overridden with the warmup time at run start.
+  ConvergenceConfig stability;
   // Tail-recovery axis. kRack is the stack's default (RACK + TLP, no agent);
   // kOff disables both on every connection (pure RTO recovery); kAgent
   // additionally runs one shared RecoveryAgent per host, scanning every
@@ -217,6 +227,26 @@ struct ExperimentConfig {
     batched_dispatch = batched;
     return *this;
   }
+  // Adversarial schedule: perturb the controller's day/night timing and/or
+  // inject mid-flow schedule changes and restart windows.
+  ExperimentConfig& WithSchedulePerturbation(PerturbationConfig p) {
+    perturb = std::move(p);
+    return *this;
+  }
+  // Convergence-oracle thresholds (stability_* result fields; needs tracing).
+  ExperimentConfig& WithStabilityOracle(const ConvergenceConfig& c) {
+    stability = c;
+    return *this;
+  }
+  // Mixed tenant population: each churn arrival draws its transport variant
+  // from this weighted mix instead of using churn.variant uniformly, so
+  // TDTCP, cubic, and DCTCP tenants coexist on the same fabric. Implies
+  // churn; weights need not sum to 1.
+  ExperimentConfig& WithTenantMix(std::vector<TenantShare> mix) {
+    churn.enabled = true;
+    churn.tenant_mix = std::move(mix);
+    return *this;
+  }
 };
 
 // The paper's baseline configuration for a given variant (DCTCP gets a
@@ -330,6 +360,20 @@ struct ExperimentResult {
   std::uint64_t trace_hash = 0;
   std::uint64_t trace_records = 0;  // total emitted (may exceed ring capacity)
   std::shared_ptr<RecordedConnection> recorded;  // set when record_flow != 0
+
+  // Convergence-oracle verdicts (trace/convergence.hpp) over the post-warmup
+  // trace ring; all zero when tracing was disabled. Flow-level rollups: a
+  // flow oscillates if any of its TDN series does.
+  std::uint64_t stability_converged = 0;
+  std::uint64_t stability_oscillating = 0;
+  std::uint64_t stability_starved = 0;
+  std::uint64_t stability_insufficient = 0;
+  double stability_worst_amplitude = 0;
+  double stability_worst_period_us = 0;
+  // Schedule-perturbation accounting (zero when perturb was empty).
+  std::uint64_t schedule_changes = 0;
+  std::uint64_t restart_holds = 0;
+  std::uint64_t tdn_reconfigs = 0;  // summed TcpStats::tdn_reconfigs
 };
 
 // Runs one deterministic experiment: the single entry point for the whole

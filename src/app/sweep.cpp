@@ -151,6 +151,18 @@ std::vector<std::pair<std::string, double>> ScalarMetrics(
       {"churn_fct_xl_p50_us", r.churn_fct_bucket[3].p50_us},
       {"churn_fct_xl_p99_us", r.churn_fct_bucket[3].p99_us},
       {"churn_fct_xl_p999_us", r.churn_fct_bucket[3].p999_us},
+      // Convergence-oracle verdicts + schedule-perturbation accounting
+      // (appended at the end: fixtures pin the leading order).
+      {"stability_converged", static_cast<double>(r.stability_converged)},
+      {"stability_oscillating", static_cast<double>(r.stability_oscillating)},
+      {"stability_starved", static_cast<double>(r.stability_starved)},
+      {"stability_insufficient",
+       static_cast<double>(r.stability_insufficient)},
+      {"stability_worst_amplitude", r.stability_worst_amplitude},
+      {"stability_worst_period_us", r.stability_worst_period_us},
+      {"schedule_changes", static_cast<double>(r.schedule_changes)},
+      {"restart_holds", static_cast<double>(r.restart_holds)},
+      {"tdn_reconfigs", static_cast<double>(r.tdn_reconfigs)},
   };
 }
 

@@ -255,6 +255,20 @@ ChurnGenerator::ChurnGenerator(Simulator& sim, Topology& topo,
     throw std::invalid_argument(
         "churn uses plain TcpConnection pairs; pick a non-MPTCP variant");
   }
+  double mix_weight = 0.0;
+  for (const TenantShare& t : config_.tenant_mix) {
+    if (t.variant == Variant::kMptcp) {
+      throw std::invalid_argument(
+          "churn tenant mix: kMptcp tenants are not supported (churn cycles "
+          "are single-subflow TcpConnection pairs)");
+    }
+    if (!(t.weight > 0.0)) {
+      throw std::invalid_argument(
+          "churn tenant mix: every tenant weight must be > 0");
+    }
+    mix_weight += t.weight;
+  }
+  mix_weight_ = mix_weight;
   if (config_.max_concurrent == 0) {
     throw std::invalid_argument("churn: max_concurrent must be > 0");
   }
@@ -337,9 +351,11 @@ void ChurnGenerator::OnArrival() {
     return;
   }
   const std::uint64_t bytes = DrawBytes(rng_);
+  const Variant variant = DrawVariant(rng_);
   const std::uint32_t host_idx =
       free_.back() % topo_.config().hosts_per_rack;
-  OpenSlot(config_.src_rack, host_idx, config_.dst_rack, host_idx, bytes);
+  OpenSlot(config_.src_rack, host_idx, config_.dst_rack, host_idx, bytes,
+           variant);
   ScheduleArrival();
 }
 
@@ -364,7 +380,8 @@ void ChurnGenerator::OnSourceArrival(std::uint32_t s) {
   const std::uint32_t dst_host = static_cast<std::uint32_t>(src.rng.UniformInt(
       0, static_cast<std::int64_t>(topo_.config().hosts_per_rack) - 1));
   const std::uint64_t bytes = DrawBytes(src.rng);
-  OpenSlot(src.rack, src.host, dst_rack, dst_host, bytes);
+  const Variant variant = DrawVariant(src.rng);
+  OpenSlot(src.rack, src.host, dst_rack, dst_host, bytes, variant);
   ScheduleSourceArrival(s);
 }
 
@@ -389,6 +406,18 @@ RackId ChurnGenerator::PickDstRack(RackId src_rack, Random& rng) {
   return r >= src_rack ? r + 1 : r;
 }
 
+Variant ChurnGenerator::DrawVariant(Random& rng) {
+  if (config_.tenant_mix.empty()) return config_.variant;
+  // One weighted draw from the arrival's own stream, so the tenant sequence
+  // is deterministic per seed and independent of other sources' interleaving.
+  double x = rng.UniformDouble(0.0, mix_weight_);
+  for (const TenantShare& t : config_.tenant_mix) {
+    if (x < t.weight) return t.variant;
+    x -= t.weight;
+  }
+  return config_.tenant_mix.back().variant;  // FP-edge fallback
+}
+
 std::uint64_t ChurnGenerator::DrawBytes(Random& rng) {
   if (config_.size_cdf == nullptr) {
     return static_cast<std::uint64_t>(rng.UniformInt(
@@ -408,7 +437,7 @@ std::uint64_t ChurnGenerator::DrawBytes(Random& rng) {
 
 void ChurnGenerator::OpenSlot(RackId src_rack, std::uint32_t src_host,
                               RackId dst_rack, std::uint32_t dst_host,
-                              std::uint64_t bytes) {
+                              std::uint64_t bytes, Variant variant) {
   const std::uint32_t idx = free_.back();
   free_.pop_back();
   Slot& slot = slots_[idx];
@@ -425,7 +454,7 @@ void ChurnGenerator::OpenSlot(RackId src_rack, std::uint32_t src_host,
   slot.src_node = src->id();
   slot.dst_node = dst->id();
 
-  TcpConfig tc = MakeVariantConfig(config_.variant, config_.base);
+  TcpConfig tc = MakeVariantConfig(variant, config_.base);
   TcpConfig rc = tc;
   if (config_.scope_tdn_to_peer) {
     tc.peer_rack = dst_rack;
@@ -453,6 +482,7 @@ void ChurnGenerator::OpenSlot(RackId src_rack, std::uint32_t src_host,
   slot.timeout = sim_.Schedule(config_.slot_timeout,
                                [this, idx] { OnSlotTimeout(idx); });
   ++stats_.opened;
+  ++stats_.opened_by_variant[static_cast<std::size_t>(variant)];
   ++active_;
 }
 

@@ -27,11 +27,20 @@ enum class Variant {
   kTdtcp,
 };
 
+inline constexpr std::size_t kNumVariants = 7;
+
 const char* VariantName(Variant v);
 Variant VariantFromName(std::string_view name);
 
 // Translates a variant into engine configuration on top of `base`.
 TcpConfig MakeVariantConfig(Variant v, TcpConfig base);
+
+// One tenant class in a mixed churn population: `weight` is the relative
+// probability an arrival belongs to this tenant (weights need not sum to 1).
+struct TenantShare {
+  Variant variant = Variant::kTdtcp;
+  double weight = 1.0;
+};
 
 struct WorkloadConfig {
   Variant variant = Variant::kTdtcp;
@@ -176,6 +185,12 @@ struct ChurnConfig {
   // WorkloadConfig::scope_tdn_to_peer). Required on rotor fabrics.
   bool scope_tdn_to_peer = false;
   Variant variant = Variant::kCubic;  // any non-MPTCP variant
+  // Mixed tenant population: when non-empty, each arrival draws its variant
+  // from this weighted mix (one draw from the arrival's own stream) instead
+  // of using `variant` uniformly. kMptcp entries are rejected (churn cycles
+  // are single-subflow TcpConnections). Drawn from the same stream as the
+  // arrival's other randomness, so the mix is deterministic per seed.
+  std::vector<TenantShare> tenant_mix;
   TcpConfig base;
   // When set, RunExperiment copies workload.base/variant over base/variant
   // so `.WithChurn(n)` inherits the experiment's transport configuration.
@@ -194,6 +209,9 @@ struct ChurnStats {
   std::uint64_t bytes_completed = 0;  // sender bytes acked at close
   // Sender-side close reasons, indexed by CloseReason.
   std::uint64_t reasons[kNumCloseReasons] = {};
+  // Opens per transport variant (meaningful under a tenant mix; with a
+  // uniform population everything lands on the configured variant).
+  std::uint64_t opened_by_variant[kNumVariants] = {};
 
   std::uint64_t normal() const {
     return reasons[static_cast<std::size_t>(CloseReason::kNormal)];
@@ -275,8 +293,9 @@ class ChurnGenerator {
   void OnSourceArrival(std::uint32_t s);
   RackId PickDstRack(RackId src_rack, Random& rng);
   std::uint64_t DrawBytes(Random& rng);
+  Variant DrawVariant(Random& rng);
   void OpenSlot(RackId src_rack, std::uint32_t src_host, RackId dst_rack,
-                std::uint32_t dst_host, std::uint64_t bytes);
+                std::uint32_t dst_host, std::uint64_t bytes, Variant variant);
   void OnEndClosed(std::uint32_t idx, bool sender_end, CloseReason reason);
   void OnSlotTimeout(std::uint32_t idx);
   void Reclaim(std::uint32_t idx);
@@ -288,6 +307,7 @@ class ChurnGenerator {
   TraceRing* trace_ring_ = nullptr;
   Random rng_;
   std::vector<Source> sources_;
+  double mix_weight_ = 0.0;  // sum of tenant_mix weights
   RackId permutation_shift_ = 1;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;

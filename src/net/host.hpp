@@ -79,6 +79,26 @@ class Host : public PacketSink {
                   [owner](const auto& e) { return e.owner == owner; });
   }
 
+  // Management-plane TDN-count reconfiguration (ScheduleChange::live_tdns):
+  // unlike the data-plane TDN notifications above this is not a lossy ICMP —
+  // the controller's management network tells every host synchronously how
+  // many TDNs the new schedule has, and connections retire the rest
+  // (TcpConnection::OnTdnReconfig).
+  using TdnReconfigListener = std::function<void(std::uint32_t live_tdns)>;
+  void AddTdnReconfigListener(const void* owner, TdnReconfigListener listener) {
+    reconfig_listeners_.push_back({owner, std::move(listener)});
+  }
+  void RemoveTdnReconfigListener(const void* owner) {
+    std::erase_if(reconfig_listeners_,
+                  [owner](const auto& e) { return e.owner == owner; });
+  }
+  void DistributeTdnReconfig(std::uint32_t live_tdns) {
+    // Listeners may register/unregister during delivery (a reconfig can kick
+    // a connection into sending, closing, etc.) — iterate a snapshot.
+    const auto snapshot = reconfig_listeners_;
+    for (const auto& e : snapshot) e.fn(live_tdns);
+  }
+
   void set_notify_distribution(NotifyDistribution d) { notify_ = d; }
 
   // Transmit a packet from a local socket out the NIC.
@@ -126,6 +146,11 @@ class Host : public PacketSink {
     TdnListener fn;
   };
 
+  struct ReconfigEntry {
+    const void* owner;
+    TdnReconfigListener fn;
+  };
+
   void DistributeTdn(TdnId tdn, bool imminent, RackId peer);
 
   Simulator& sim_;
@@ -135,6 +160,7 @@ class Host : public PacketSink {
   Link* uplink_ = nullptr;
   std::unordered_map<FlowId, PacketSink*> endpoints_;
   std::vector<ListenerEntry> tdn_listeners_;
+  std::vector<ReconfigEntry> reconfig_listeners_;
   NotifyDistribution notify_;
   std::uint64_t dropped_no_endpoint_ = 0;
   std::uint64_t rsts_sent_ = 0;

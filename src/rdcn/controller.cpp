@@ -1,6 +1,6 @@
 #include "rdcn/controller.hpp"
 
-#include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace tdtcp {
@@ -10,8 +10,17 @@ RdcnController::RdcnController(Simulator& sim, Config config,
                                std::vector<ToRSwitch*> tors)
     : sim_(sim), config_(config), schedule_(config.schedule),
       ports_(std::move(ports)), tors_(std::move(tors)) {
-  assert(!ports_.empty());
-  if (!ports_.empty()) normal_voq_packets_ = ports_.front()->voq().capacity();
+  if (ports_.empty()) {
+    // Was an NDEBUG-silent assert: a portless controller would dereference
+    // ports_.front() at the first dynamic-VOQ resize or imminent notice.
+    throw std::invalid_argument(
+        "RdcnController: needs at least one fabric port to drive");
+  }
+  normal_voq_packets_ = ports_.front()->voq().capacity();
+  if (!config_.perturb.Empty()) {
+    perturb_ =
+        std::make_unique<SchedulePerturbation>(config_.perturb, config_.seed);
+  }
 }
 
 void RdcnController::Start() {
@@ -19,7 +28,64 @@ void RdcnController::Start() {
   RunDay(0);
 }
 
+bool RdcnController::DeferForRestart(std::uint32_t day_index, bool night) {
+  if (!perturb_) return false;
+  const SimTime hold = perturb_->RestartHold(sim_.now() - start_time_);
+  if (hold.IsZero()) return false;
+  // Controller restart: the fabric freezes in whatever state the previous
+  // segment left it (ports keep their mode/blackout), nothing is notified,
+  // and the boundary re-fires once the controller comes back.
+  ++restart_holds_;
+  if (has_trace_) {
+    trace_->Emit(sim_.now().picos(), TracePoint::kSchedRestartHold, /*flow=*/0,
+                 static_cast<std::uint64_t>(hold.picos()), day_index, night);
+  }
+  if (night) {
+    sim_.ScheduleNoCancel(hold, [this, day_index] { RunNight(day_index); });
+  } else {
+    sim_.ScheduleNoCancel(hold, [this, day_index] { RunDay(day_index); });
+  }
+  return true;
+}
+
+void RdcnController::ApplyChange(const ScheduleChange& change) {
+  if (!change.day_length.IsZero()) {
+    config_.schedule.day_length = change.day_length;
+  }
+  if (!change.night_length.IsZero()) {
+    config_.schedule.night_length = change.night_length;
+  }
+  if (change.circuit_day >= 0) {
+    config_.schedule.circuit_day =
+        static_cast<std::uint32_t>(change.circuit_day) %
+        config_.schedule.num_days;
+  }
+  if (change.circuit_tdn >= 0) {
+    config_.circuit_mode.tdn = static_cast<TdnId>(change.circuit_tdn);
+  }
+  if (has_trace_) {
+    trace_->Emit(sim_.now().picos(), TracePoint::kSchedChange, /*flow=*/0,
+                 static_cast<std::uint64_t>(config_.schedule.day_length.picos()),
+                 static_cast<std::uint64_t>(config_.schedule.night_length.picos()),
+                 change.live_tdns >= 0
+                     ? static_cast<std::uint64_t>(change.live_tdns)
+                     : 0);
+  }
+  if (change.live_tdns >= 0 && reconfig_) {
+    reconfig_(static_cast<std::uint32_t>(change.live_tdns));
+  }
+}
+
 void RdcnController::RunDay(std::uint32_t day_index) {
+  if (DeferForRestart(day_index, /*night=*/false)) return;
+  if (perturb_) {
+    // Schedule changes roll out at day boundaries, in config order.
+    while (const ScheduleChange* ch =
+               perturb_->PendingChange(sim_.now() - start_time_)) {
+      ApplyChange(*ch);
+      perturb_->MarkApplied();
+    }
+  }
   const bool circuit = (day_index == config_.schedule.circuit_day);
   const NetworkMode& mode = circuit ? config_.circuit_mode : config_.packet_mode;
 
@@ -37,13 +103,16 @@ void RdcnController::RunDay(std::uint32_t day_index) {
   // and circuit teardown is announced at night start by RunNight.
   if (mode.tdn != last_notified_tdn_) NotifyAll(mode.tdn);
 
+  const SimTime day_length =
+      perturb_ ? perturb_->PerturbDay(day_index, config_.schedule.day_length)
+               : config_.schedule.day_length;
+
   // reTCPdyn: ahead of the next circuit day, enlarge VOQs and warn senders.
   if (config_.dynamic_voq) {
     const std::uint32_t days = config_.schedule.num_days;
     const std::uint32_t next = (day_index + 1) % days;
     if (next == config_.schedule.circuit_day) {
-      const SimTime until_next_day = config_.schedule.day_length +
-                                     config_.schedule.night_length;
+      const SimTime until_next_day = day_length + config_.schedule.night_length;
       if (until_next_day > config_.resize_advance) {
         sim_.ScheduleNoCancel(until_next_day - config_.resize_advance, [this] {
           ResizeVoqs(config_.enlarged_voq_packets);
@@ -53,11 +122,12 @@ void RdcnController::RunDay(std::uint32_t day_index) {
     }
   }
 
-  sim_.ScheduleNoCancel(config_.schedule.day_length,
+  sim_.ScheduleNoCancel(day_length,
                         [this, day_index] { RunNight(day_index); });
 }
 
 void RdcnController::RunNight(std::uint32_t day_index) {
+  if (DeferForRestart(day_index, /*night=*/true)) return;
   const bool was_circuit = (day_index == config_.schedule.circuit_day);
   if (has_trace_) {
     trace_->Emit(sim_.now().picos(), TracePoint::kRdcnNightStart, /*flow=*/0,
@@ -70,7 +140,10 @@ void RdcnController::RunNight(std::uint32_t day_index) {
     if (config_.dynamic_voq) ResizeVoqs(normal_voq_packets_);
   }
   const std::uint32_t next = (day_index + 1) % config_.schedule.num_days;
-  sim_.ScheduleNoCancel(config_.schedule.night_length, [this, next] { RunDay(next); });
+  const SimTime night_length =
+      perturb_ ? perturb_->PerturbNight(config_.schedule.night_length)
+               : config_.schedule.night_length;
+  sim_.ScheduleNoCancel(night_length, [this, next] { RunDay(next); });
 }
 
 void RdcnController::NotifyAll(TdnId tdn, bool imminent) {

@@ -1,14 +1,20 @@
 // Drives the fabric through the RDCN schedule: reconfigures fabric ports at
 // day/night boundaries, blacks the fabric out during reconfiguration, emits
 // ToR-generated TDN-change notifications (§3.2), and implements reTCPdyn's
-// switch cooperation (VOQ enlargement + advance ramp notice, §5.2).
+// switch cooperation (VOQ enlargement + advance ramp notice, §5.2). When a
+// SchedulePerturbation is configured it additionally runs the adversarial
+// schedule: skewed/jittered segment lengths, mid-flow schedule changes
+// applied at day boundaries, and restart windows that freeze the fabric.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/fabric_port.hpp"
 #include "net/tor_switch.hpp"
+#include "rdcn/perturbation.hpp"
 #include "rdcn/schedule.hpp"
 #include "sim/simulator.hpp"
 #include "trace/tracepoints.hpp"
@@ -28,10 +34,17 @@ class RdcnController {
     bool dynamic_voq = false;
     SimTime resize_advance = SimTime::Micros(150);
     std::uint32_t enlarged_voq_packets = 50;
+
+    // Adversarial-schedule perturbations (empty = the nominal schedule) and
+    // the experiment seed their dedicated Random stream derives from.
+    PerturbationConfig perturb;
+    std::uint64_t seed = 1;
   };
 
   // `ports` are the fabric ports of the observed rack pair (both
   // directions); `tors` the switches whose hosts should be notified.
+  // Throws std::invalid_argument when `ports` is empty (was an NDEBUG-silent
+  // assert) or the perturbation config is malformed.
   RdcnController(Simulator& sim, Config config, std::vector<FabricPort*> ports,
                  std::vector<ToRSwitch*> tors);
 
@@ -42,15 +55,32 @@ class RdcnController {
   const Schedule& schedule() const { return schedule_; }
   SimTime start_time() const { return start_time_; }
 
-  // Schedule queries relative to the controller's start time.
+  // Schedule queries relative to the controller's start time. Under an
+  // active perturbation these describe the *nominal* schedule; the perturbed
+  // boundary times live only in the event stream (and the tracepoints).
   TdnId ActiveTdn(SimTime t) const { return schedule_.TdnAt(Rel(t)); }
   bool BlackoutAt(SimTime t) const { return schedule_.BlackoutAt(Rel(t)); }
 
   std::uint32_t reconfigurations() const { return reconfigurations_; }
 
+  // Perturbation accounting (zeros when no perturbation is configured).
+  std::uint64_t schedule_changes_applied() const {
+    return perturb_ ? perturb_->stats().changes_applied : 0;
+  }
+  std::uint64_t restart_holds() const { return restart_holds_; }
+
+  // Management-plane hook for TDN-count changes: called synchronously at the
+  // day boundary that applies a ScheduleChange with live_tdns set, with the
+  // new live count. RunExperiment wires this to every host's
+  // DistributeTdnReconfig (retirement rides the management plane, not the
+  // lossy per-day ICMP channel — see DESIGN.md §13).
+  using ReconfigFn = std::function<void(std::uint32_t live_tdns)>;
+  void SetReconfigHook(ReconfigFn fn) { reconfig_ = std::move(fn); }
+
   // Tracepoint sink: day/night boundaries emit kRdcnDayStart (a0=tdn,
   // a1=day index, a2=circuit day) and kRdcnNightStart (a0=day index,
-  // a1=was circuit day), flow 0.
+  // a1=was circuit day), flow 0. Perturbations add kSchedChange and
+  // kSchedRestartHold.
   void SetTraceRing(TraceRing* ring) {
     trace_ = ring;
     has_trace_ = ring != nullptr;
@@ -61,6 +91,10 @@ class RdcnController {
 
   void RunDay(std::uint32_t day_index);
   void RunNight(std::uint32_t day_index);
+  void ApplyChange(const ScheduleChange& change);
+  // True when the boundary was deferred into a restart window (the caller
+  // returns immediately; the boundary re-fires at the window's end).
+  bool DeferForRestart(std::uint32_t day_index, bool night);
   void NotifyAll(TdnId tdn, bool imminent = false);
   void ResizeVoqs(std::uint32_t packets);
 
@@ -69,9 +103,12 @@ class RdcnController {
   Schedule schedule_;
   std::vector<FabricPort*> ports_;
   std::vector<ToRSwitch*> tors_;
+  std::unique_ptr<SchedulePerturbation> perturb_;
+  ReconfigFn reconfig_;
   SimTime start_time_;
   std::uint32_t normal_voq_packets_ = 16;
   std::uint32_t reconfigurations_ = 0;
+  std::uint64_t restart_holds_ = 0;
   TdnId last_notified_tdn_ = 0;
   // Notification generation number: stamped into every ICMP so hosts can
   // discard duplicated/reordered/stale deliveries (Packet::notify_seq).

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tdtcp {
 
@@ -17,6 +18,10 @@ RotorController::RotorController(Simulator& sim, Config config, Topology* topo)
         "(got " + std::to_string(racks) + ")");
   }
   BuildMatchings();
+  if (!config_.perturb.Empty()) {
+    perturb_ =
+        std::make_unique<SchedulePerturbation>(config_.perturb, config_.seed);
+  }
 }
 
 void RotorController::BuildMatchings() {
@@ -44,9 +49,70 @@ void RotorController::BuildMatchings() {
   }
 }
 
-void RotorController::Start() { RunDay(0); }
+void RotorController::ReshuffleMatchings() {
+  // Relabel the racks with a fresh random permutation: every day is still a
+  // perfect matching and all pairs still meet once per week, but who meets
+  // whom on which day changes — the "matching reshuffle" mid-flow change.
+  const std::uint32_t n = topo_->config().num_racks;
+  std::vector<RackId> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+  Random& rng = perturb_->rng();
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.UniformInt(0, i));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<std::vector<RackId>> shuffled(matchings_.size(),
+                                            std::vector<RackId>(n, 0));
+  for (std::size_t d = 0; d < matchings_.size(); ++d) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      shuffled[d][perm[r]] = perm[matchings_[d][r]];
+    }
+  }
+  matchings_ = std::move(shuffled);
+  ++reshuffles_;
+}
+
+void RotorController::ApplyChange(const ScheduleChange& change) {
+  if (!change.day_length.IsZero()) config_.day_length = change.day_length;
+  if (!change.night_length.IsZero()) {
+    config_.night_length = change.night_length;
+  }
+  if (change.circuit_tdn >= 0) {
+    config_.circuit_mode.tdn = static_cast<TdnId>(change.circuit_tdn);
+  }
+  if (change.reshuffle_matchings) ReshuffleMatchings();
+  if (change.live_tdns >= 0 && reconfig_) {
+    reconfig_(static_cast<std::uint32_t>(change.live_tdns));
+  }
+}
+
+bool RotorController::DeferForRestart(std::uint32_t day, bool night) {
+  if (!perturb_) return false;
+  const SimTime hold = perturb_->RestartHold(sim_.now() - start_time_);
+  if (hold.IsZero()) return false;
+  ++restart_holds_;
+  if (night) {
+    sim_.ScheduleNoCancel(hold, [this, day] { RunNight(day); });
+  } else {
+    sim_.ScheduleNoCancel(hold, [this, day] { RunDay(day); });
+  }
+  return true;
+}
+
+void RotorController::Start() {
+  start_time_ = sim_.now();
+  RunDay(0);
+}
 
 void RotorController::RunDay(std::uint32_t day) {
+  if (DeferForRestart(day, /*night=*/false)) return;
+  if (perturb_) {
+    while (const ScheduleChange* ch =
+               perturb_->PendingChange(sim_.now() - start_time_)) {
+      ApplyChange(*ch);
+      perturb_->MarkApplied();
+    }
+  }
   const std::uint32_t n = topo_->config().num_racks;
   const auto& matching = matchings_[day];
   for (RackId a = 0; a < n; ++a) {
@@ -66,10 +132,14 @@ void RotorController::RunDay(std::uint32_t day) {
       }
     }
   }
-  sim_.ScheduleNoCancel(config_.day_length, [this, day] { RunNight(day); });
+  const SimTime day_length =
+      perturb_ ? perturb_->PerturbDay(day, config_.day_length)
+               : config_.day_length;
+  sim_.ScheduleNoCancel(day_length, [this, day] { RunNight(day); });
 }
 
 void RotorController::RunNight(std::uint32_t day) {
+  if (DeferForRestart(day, /*night=*/true)) return;
   const std::uint32_t n = topo_->config().num_racks;
   const auto& matching = matchings_[day];
   for (RackId a = 0; a < n; ++a) {
@@ -82,7 +152,10 @@ void RotorController::RunNight(std::uint32_t day) {
                                /*peer=*/matching[a], ++notify_seq_);
   }
   const std::uint32_t next = (day + 1) % matchings_.size();
-  sim_.ScheduleNoCancel(config_.night_length, [this, next] { RunDay(next); });
+  const SimTime night_length =
+      perturb_ ? perturb_->PerturbNight(config_.night_length)
+               : config_.night_length;
+  sim_.ScheduleNoCancel(night_length, [this, next] { RunDay(next); });
 }
 
 }  // namespace tdtcp

@@ -1,11 +1,44 @@
 #include "rdcn/schedule.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace tdtcp {
 
+Schedule::Schedule(ScheduleConfig config) : config_(config) {
+  // Throw, don't assert: the default build defines NDEBUG, and a degenerate
+  // schedule would otherwise divide by a zero-length slot (SlotAt) or index
+  // a day that never occurs (circuit_day).
+  if (config_.day_length <= SimTime::Zero()) {
+    throw std::invalid_argument(
+        "Schedule: day_length must be positive (got " +
+        std::to_string(config_.day_length.picos()) + " ps)");
+  }
+  if (config_.night_length < SimTime::Zero()) {
+    throw std::invalid_argument(
+        "Schedule: night_length must be non-negative (got " +
+        std::to_string(config_.night_length.picos()) + " ps)");
+  }
+  if (config_.num_days < 1) {
+    throw std::invalid_argument("Schedule: num_days must be >= 1 (got 0)");
+  }
+  if (config_.circuit_day >= config_.num_days &&
+      config_.circuit_day != ScheduleConfig::kNoCircuitDay) {
+    throw std::invalid_argument(
+        "Schedule: circuit_day " + std::to_string(config_.circuit_day) +
+        " is outside the week (num_days=" + std::to_string(config_.num_days) +
+        "); use ScheduleConfig::kNoCircuitDay for an all-packet week");
+  }
+}
+
 Schedule::Slot Schedule::SlotAt(SimTime t) const {
-  assert(t >= SimTime::Zero());
+  if (t < SimTime::Zero()) {
+    // Was an NDEBUG-silent assert: a negative time would make the modular
+    // week arithmetic below produce a slot from the wrong week boundary.
+    throw std::invalid_argument(
+        "Schedule::SlotAt: negative time (" + std::to_string(t.picos()) +
+        " ps); schedule queries are relative to the controller start");
+  }
   const SimTime week = week_length();
   const SimTime week_start = t - (t % week);
   const SimTime in_week = t % week;
@@ -38,9 +71,12 @@ double Schedule::OptimalBits(SimTime t, std::uint64_t packet_bps,
   const SimTime week = week_length();
   const std::int64_t full_weeks = t / week;
   const double day_s = config_.day_length.seconds();
+  const bool has_circuit = config_.circuit_day < config_.num_days;
   const double per_week_bits =
-      day_s * (static_cast<double>(packet_bps) * (config_.num_days - 1) +
-               static_cast<double>(circuit_bps));
+      has_circuit
+          ? day_s * (static_cast<double>(packet_bps) * (config_.num_days - 1) +
+                     static_cast<double>(circuit_bps))
+          : day_s * static_cast<double>(packet_bps) * config_.num_days;
 
   double bits = per_week_bits * static_cast<double>(full_weeks);
 

@@ -16,6 +16,11 @@
 namespace tdtcp {
 
 struct ScheduleConfig {
+  // Explicit "the circuit never visits this pair" encoding: a schedule whose
+  // week is all packet days, used as the static-network control in fairness
+  // and degeneration experiments. Any other value >= num_days is rejected.
+  static constexpr std::uint32_t kNoCircuitDay = 0xffffffffu;
+
   SimTime day_length = SimTime::Micros(180);
   SimTime night_length = SimTime::Micros(20);
   std::uint32_t num_days = 7;     // configurations per week
@@ -24,7 +29,12 @@ struct ScheduleConfig {
 
 class Schedule {
  public:
-  explicit Schedule(ScheduleConfig config) : config_(config) {}
+  // Throws std::invalid_argument on a config that cannot describe a week:
+  // nonpositive day/night lengths, zero days, or a circuit day outside
+  // [0, num_days) other than ScheduleConfig::kNoCircuitDay. Throwing
+  // (instead of the old NDEBUG-silent assert) keeps release builds from
+  // silently dividing by a zero-length slot.
+  explicit Schedule(ScheduleConfig config);
 
   const ScheduleConfig& config() const { return config_; }
 

@@ -61,6 +61,8 @@ TcpConnection::TcpConnection(Simulator& sim, Host* host, FlowId flow,
         this,
         [this](TdnId tdn, bool imminent) { OnTdnChange(tdn, imminent); },
         config_.peer_rack);
+    host_->AddTdnReconfigListener(
+        this, [this](std::uint32_t live) { OnTdnReconfig(live); });
     tdn_listener_registered_ = true;
   }
 }
@@ -69,7 +71,10 @@ TcpConnection::~TcpConnection() {
   CancelTimers();
   if (recovery_agent_ != nullptr) recovery_agent_->Deregister(recovery_node_);
   if (endpoint_registered_) host_->UnregisterEndpoint(flow_, this);
-  if (tdn_listener_registered_) host_->RemoveTdnListener(this);
+  if (tdn_listener_registered_) {
+    host_->RemoveTdnListener(this);
+    host_->RemoveTdnReconfigListener(this);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +465,7 @@ void TcpConnection::ToClosed(CloseReason reason) {
   }
   if (tdn_listener_registered_) {
     host_->RemoveTdnListener(this);
+    host_->RemoveTdnReconfigListener(this);
     tdn_listener_registered_ = false;
   }
   RunChecker(TcpInvariantChecker::Event::kClose);
@@ -562,6 +568,26 @@ void TcpConnection::OnTdnChange(TdnId tdn, bool imminent) {
   peer_tdn_candidate_ = kNoTdn;
   peer_tdn_streak_ = 0;
   SwitchActiveTdn(tdn);
+}
+
+void TcpConnection::OnTdnReconfig(std::uint32_t live_tdns) {
+  // Management-plane TDN-count change (ScheduleChange::live_tdns): retire
+  // every per-TDN state set the new schedule no longer drives. Unlike
+  // OnTdnChange this is reliable (no ICMP loss model) and touches state
+  // directly, so it runs under the same invariant-checker discipline as a
+  // switch.
+  if (!tdtcp_active_) return;
+  ++stats_.tdn_reconfigs;
+  if (checker_) checker_->WillSwitchTdn(*this);
+  const bool moved = tdns_.RetireAbove(live_tdns);
+  if (moved) {
+    ++stats_.tdn_switches;
+    tdn_pointer_pending_ = true;
+    ArmRto();
+    ArmTlp();
+  }
+  RunChecker(TcpInvariantChecker::Event::kTdnSwitch);
+  if (moved) MaybeSend();
 }
 
 void TcpConnection::SwitchActiveTdn(TdnId tdn) {
@@ -1096,6 +1122,7 @@ void TcpConnection::NoteSackedSegment(TxSegment& seg, TdnId ack_tdn) {
   // delivered segments are SACKed keeps RTO pinned at initial_rto, whose
   // exponential backoff can phase-lock with the rotation week so every
   // retransmission lands in the same congested schedule segment.
+  if (!config_.sack_rtt) return;
   if (seg.ever_retrans) return;
   const SimTime rtt = sim_.now() - seg.last_sent;
   if (tdtcp_active_ && config_.per_tdn_rtt) {

@@ -74,6 +74,12 @@ struct TcpConfig {
 
   // --- loss detection ---------------------------------------------------------
   bool sack_enabled = true;
+  // Linux sack_rtt parity: take RTT samples from newly SACKed (never
+  // retransmitted) segments. Disabling it starves the RTT estimator during
+  // recovery — RTO stays pinned at its initial/backed-off value, which is the
+  // historical ingredient of the RTO-backoff phase-locking failure mode (the
+  // bench_stability canary flips this off to reproduce it).
+  bool sack_rtt = true;
   std::uint32_t dupack_threshold = 3;
   bool rack_enabled = true;   // time-based marking
   bool tlp_enabled = true;    // tail-loss probes
@@ -150,6 +156,7 @@ struct TcpStats {
   std::uint64_t rtt_samples_dropped = 0;   // §4.4 type-3 samples discarded
   std::uint64_t tdn_switches = 0;
   std::uint64_t tdn_inferred_switches = 0;  // recovered via data-path tags
+  std::uint64_t tdn_reconfigs = 0;          // management-plane TDN-count changes
   std::uint64_t acks_received = 0;
   std::uint64_t bytes_received = 0;        // receiver-side delivered to app
   std::uint64_t duplicate_segments = 0;    // receiver-side dup arrivals
@@ -224,6 +231,9 @@ class TcpConnection : public PacketSink {
   // --- TDN control -------------------------------------------------------------
   // Host notification entry point (wired via Host::AddTdnListener).
   void OnTdnChange(TdnId tdn, bool imminent);
+  // Management-plane TDN-count change (Host::AddTdnReconfigListener): retire
+  // per-TDN state sets with id >= live_tdns (TdnManager::RetireAbove).
+  void OnTdnReconfig(std::uint32_t live_tdns);
   // §4.2: collapse an established TDTCP connection to regular TCP.
   void DowngradeToRegularTcp();
 

@@ -1,6 +1,7 @@
 #include "tdtcp/tdn_manager.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "sim/simulator.hpp"
 
@@ -10,7 +11,13 @@ TdnManager::TdnManager(std::uint32_t num_tdns, IndexedCcFactory factory,
                        RttEstimator::Config rtt_config, std::uint32_t initial_cwnd)
     : factory_(std::move(factory)), rtt_config_(rtt_config),
       initial_cwnd_(initial_cwnd) {
-  assert(num_tdns >= 1);
+  if (num_tdns < 1) {
+    // Was an NDEBUG-silent assert: a zero-TDN manager has no active() state
+    // and the first tag/switch would index an empty vector.
+    throw std::invalid_argument(
+        "TdnManager: num_tdns must be >= 1 (got " + std::to_string(num_tdns) +
+        ")");
+  }
   for (std::uint32_t i = 0; i < num_tdns; ++i) EnsureTdn(static_cast<TdnId>(i));
 }
 
@@ -28,11 +35,33 @@ void TdnManager::EnsureTdn(TdnId id) {
                    trace_flow_, states_.back().id);
     }
   }
+  if (retired_.size() < states_.size()) retired_.resize(states_.size(), false);
+}
+
+void TdnManager::ReviveIfDrained(TdnState& s) {
+  // A revived set starts fresh only once its in-flight data has fully
+  // drained; with segments still on the scoreboard the old accounting (and
+  // CC episode state) must carry over or the invariant checker's recount
+  // diverges.
+  if (s.packets_out != 0 || s.retrans_out != 0) return;
+  const TdnId id = s.id;
+  s = TdnState();
+  s.id = id;
+  s.cwnd = initial_cwnd_;
+  s.rtt = RttEstimator(rtt_config_);
+  s.cc = factory_(id);
+  s.cc->Init(s);
 }
 
 bool TdnManager::SwitchTo(TdnId id) {
   EnsureTdn(id);
   if (id == active_) return false;
+  if (retired_[id]) {
+    // Reviving a retired TDN (the schedule grew back): reset to fresh
+    // connection state if it drained while parked, carry over otherwise.
+    retired_[id] = false;
+    ReviveIfDrained(states_[id]);
+  }
   const TdnId prev = active_;
   active_ = id;
   TdnState& s = states_[active_];
@@ -42,6 +71,38 @@ bool TdnManager::SwitchTo(TdnId id) {
                  trace_flow_, prev, id);
   }
   return true;
+}
+
+bool TdnManager::RetireAbove(std::uint32_t live) {
+  if (live == 0) {
+    throw std::invalid_argument(
+        "TdnManager::RetireAbove: a reconfiguration must leave at least one "
+        "live TDN (got live=0)");
+  }
+  ++retire_events_;
+  std::uint64_t newly_retired = 0;
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    const bool retire = id >= live;
+    if (retire && !retired_[id]) ++newly_retired;
+    if (!retire && retired_[id]) {
+      // The schedule grew back: ids below the new count are live again.
+      retired_[id] = false;
+      ReviveIfDrained(states_[id]);
+    } else {
+      retired_[id] = retire;
+    }
+  }
+  bool moved = false;
+  if (active_ < retired_.size() && retired_[active_]) {
+    // Never leave the connection tagging new data with a retired TDN; TDN 0
+    // always survives (live >= 1).
+    moved = SwitchTo(0);
+  }
+  if (has_trace_) {
+    trace_->Emit(trace_sim_->now().picos(), TracePoint::kTdnRetire,
+                 trace_flow_, live, newly_retired, moved);
+  }
+  return moved;
 }
 
 std::uint32_t TdnManager::TotalPacketsOut() const {

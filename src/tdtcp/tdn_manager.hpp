@@ -57,6 +57,30 @@ class TdnManager {
 
   void EnsureTdn(TdnId id);
 
+  // Schedule reconfiguration (TDN-count change): retire every state set with
+  // id >= `live`. Semantics (DESIGN.md §13):
+  //   * surviving TDNs carry their state over unchanged;
+  //   * a retired set keeps its accounting — segments tagged with it are
+  //     still on the scoreboard and drain through the normal ACK/loss paths,
+  //     so the invariant checker's recount stays consistent;
+  //   * the active TDN is never left retired: it falls back to TDN 0 (which
+  //     a reconfiguration can never retire, live >= 1);
+  //   * a later SwitchTo on a retired id revives it — with freshly
+  //     initialized CC/RTT/cwnd state if it had fully drained, in place (a
+  //     carry-over, the data is still in flight) otherwise.
+  // Returns true when the active TDN moved. Throws std::invalid_argument on
+  // live == 0.
+  bool RetireAbove(std::uint32_t live);
+  bool retired(TdnId id) const {
+    return id < retired_.size() && retired_[id];
+  }
+  std::uint32_t live_tdns() const {
+    std::uint32_t live = 0;
+    for (bool r : retired_) live += r ? 0 : 1;
+    return live;
+  }
+  std::uint64_t retire_events() const { return retire_events_; }
+
   // §4.3 "all TDNs": an ACK can acknowledge data from any TDN, so validity
   // checks must use the sum.
   std::uint32_t TotalPacketsOut() const;
@@ -84,7 +108,11 @@ class TdnManager {
   }
 
  private:
+  void ReviveIfDrained(TdnState& s);
+
   std::vector<TdnState> states_;
+  std::vector<bool> retired_;
+  std::uint64_t retire_events_ = 0;
   IndexedCcFactory factory_;
   RttEstimator::Config rtt_config_;
   std::uint32_t initial_cwnd_;

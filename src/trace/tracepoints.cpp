@@ -26,6 +26,9 @@ const char* TracePointName(TracePoint p) {
     case TracePoint::kHostNicState: return "host_nic_state";
     case TracePoint::kRecoveryForced: return "recovery_forced";
     case TracePoint::kWheelCascade: return "wheel_cascade";
+    case TracePoint::kSchedChange: return "sched_change";
+    case TracePoint::kSchedRestartHold: return "sched_restart_hold";
+    case TracePoint::kTdnRetire: return "tdn_retire";
   }
   return "unknown";
 }

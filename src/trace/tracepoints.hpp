@@ -60,6 +60,10 @@ enum class TracePoint : std::uint32_t {
   // Host recovery agent + timer wheel.
   kRecoveryForced = 20,   // a0=seq, a1=tdn, a2=quiet ps, a3=threshold ps
   kWheelCascade = 21,     // a0=level, a1=slot, a2=entries moved, a3=host NodeId
+  // Adversarial-schedule perturbations (rdcn/perturbation.hpp).
+  kSchedChange = 22,      // a0=day_length ps, a1=night_length ps, a2=live tdns
+  kSchedRestartHold = 23, // a0=hold ps, a1=day index, a2=was night (0/1)
+  kTdnRetire = 24,        // a0=live tdn count, a1=sets retired, a2=active moved
 };
 
 // Timer identity for kTcpTimer{Arm,Cancel,Fire}.

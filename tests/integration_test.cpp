@@ -49,7 +49,7 @@ TEST(Integration, TdtcpMatchesRetcpDyn) {
 TEST(Integration, SingleTdnScheduleBehavesLikePlainNetwork) {
   // With the circuit never materializing, TDTCP degenerates gracefully.
   ExperimentConfig cfg = ShortConfig(Variant::kTdtcp, 20);
-  cfg.schedule.circuit_day = 99;  // never
+  cfg.schedule.circuit_day = ScheduleConfig::kNoCircuitDay;
   ExperimentResult r = RunExperiment(cfg);
   EXPECT_GT(r.goodput_bps, 7e9);
   EXPECT_LT(r.goodput_bps, 10.5e9);

@@ -37,6 +37,19 @@ Typical workflow (EXPERIMENTS.md has the full recipe):
     ./build/bench/bench_shortflows --out=/tmp/sf
     tools/bench_compare.py BENCH_shortflows.json /tmp/sf.json \
         --metric=fct_p50_us,fct_p99_us,fct_p999_us
+
+With --stability the comparison runs on the convergence-oracle verdict
+counters emitted by bench_stability (converged / oscillating / starved /
+insufficient), gated EXACTLY: these are phase-diagram verdicts, not timings,
+so any change — a cell gaining an oscillator, or a designed-to-oscillate
+cell going quiet — fails the comparison. worst_amplitude / worst_period_us
+are printed for context but not gated (they move with the worst certified
+oscillator, which the verdict gate already pins). A document whose runs lack
+the stability counters (generated before bench_stability existed, or by a
+different bench) gets a clear schema-skew message instead of a KeyError:
+
+    ./build/bench/bench_stability --out=/tmp/stab
+    tools/bench_compare.py BENCH_stability.json /tmp/stab.json --stability
 """
 import argparse
 import json
@@ -92,6 +105,54 @@ def compare_metric(base, cand, shared, metric, max_regress):
     return regressions
 
 
+STABILITY_GATED = ["converged", "oscillating", "starved", "insufficient"]
+STABILITY_INFO = ["worst_amplitude", "worst_period_us"]
+
+
+def compare_stability(base, cand, shared):
+    """Exact-match comparison of the convergence-oracle verdict counters."""
+    missing = {}
+    for name in shared:
+        for doc, which in ((base, "baseline"), (cand, "candidate")):
+            absent = [m for m in STABILITY_GATED
+                      if m not in doc[name].get("counters", {})]
+            if absent:
+                missing.setdefault(which, set()).update(absent)
+    if missing:
+        detail = "; ".join(
+            f"{which} lacks columns: {', '.join(sorted(cols))}"
+            for which, cols in sorted(missing.items()))
+        sys.exit(f"stability schema skew — {detail}.\n"
+                 f"The stability_* counters are emitted by bench_stability; "
+                 f"a document from an older build (or a different bench) "
+                 f"cannot be compared with --stability. Regenerate with\n"
+                 f"    ./build/bench/bench_stability --out=<base>  (writes "
+                 f"<base>.json)")
+
+    width = max(len(n) for n in shared)
+    header = "  ".join(f"{m:>12}" for m in STABILITY_GATED)
+    print(f"{'cell':<{width}}  {header}   (base -> cand; verdicts gate "
+          f"exactly)")
+    flips = []
+    for name in shared:
+        b = base[name]["counters"]
+        c = cand[name]["counters"]
+        cols = []
+        for m in STABILITY_GATED:
+            bv, cv = int(b[m]), int(c[m])
+            cols.append(f"{bv} -> {cv}" if bv != cv else str(cv))
+            if bv != cv:
+                flips.append((name, m, bv, cv))
+        print(f"{name:<{width}}  " +
+              "  ".join(f"{col:>12}" for col in cols))
+        for m in STABILITY_INFO:
+            if m in b and m in c and b[m] != c[m]:
+                print(f"{'':<{width}}    {m}: {b[m]:.2f} -> {c[m]:.2f} "
+                      f"(informational)")
+    return [(f"{name} [{m}]", f"{bv} -> {cv}")
+            for name, m, bv, cv in flips]
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -103,6 +164,11 @@ def main():
                     help="compare these counters[] entries (comma-separated, "
                          "lower is better) instead of cpu time / items/sec; "
                          "every named counter is gated independently")
+    ap.add_argument("--stability", action="store_true",
+                    help="compare the convergence-oracle verdict counters "
+                         "(converged/oscillating/starved/insufficient) from "
+                         "bench_stability documents; any verdict change "
+                         "fails (phase diagrams gate exactly, not by ratio)")
     ap.add_argument("--write-baseline", action="store_true",
                     help="after printing the comparison, replace the baseline "
                          "file with the candidate document (byte-for-byte) "
@@ -116,7 +182,9 @@ def main():
     if not shared:
         sys.exit("no benchmark names in common between the two documents")
 
-    if args.metric:
+    if args.stability:
+        regressions = compare_stability(base, cand, shared)
+    elif args.metric:
         regressions = []
         for i, metric in enumerate(m for m in args.metric.split(",") if m):
             if i:
@@ -172,12 +240,21 @@ def main():
         return 0
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.max_regress:.0%}:")
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x")
+        if args.stability:
+            print(f"\nFAIL: {len(regressions)} phase-diagram verdict(s) "
+                  f"changed:")
+            for name, delta in regressions:
+                print(f"  {name}: {delta}")
+        else:
+            print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+                  f"than {args.max_regress:.0%}:")
+            for name, ratio in regressions:
+                print(f"  {name}: {ratio:.2f}x")
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.max_regress:.0%}")
+    if args.stability:
+        print("\nOK: phase diagram unchanged")
+    else:
+        print(f"\nOK: no benchmark regressed more than {args.max_regress:.0%}")
     return 0
 
 

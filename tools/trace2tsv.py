@@ -7,6 +7,8 @@ Usage:
     tools/trace2tsv.py TRACE.json --cwnd         # cwnd/ssthresh evolution
     tools/trace2tsv.py TRACE.json --timeseq      # sender time-sequence plot
     tools/trace2tsv.py TRACE.json --recovery     # forced-retransmit events
+    tools/trace2tsv.py TRACE.json --stability    # schedule changes/restarts/
+                                                 # TDN retirements
 
 Both document shapes work: plain ring dumps and the replay fixtures under
 tests/traces/ (the `recorded` section is ignored here). Point names come
@@ -21,6 +23,15 @@ of the fence agree by construction. Output columns:
     --cwnd      time_ps  tdn    cwnd  ssthresh
     --timeseq   time_ps  acked_through
     --recovery  time_ps  flow   seq   tdn  quiet_ps  threshold_ps
+    --stability time_ps  flow   event a0   a1  a2
+
+The --stability view covers the adversarial-schedule events: sched_change
+(a0 = day_length ps, a1 = night_length ps, a2 = live TDN count),
+sched_restart_hold (a0 = hold ps, a1 = day index, a2 = was night), and
+tdn_retire (a0 = live count after, a1 = sets retired, a2 = 1 if the active
+TDN moved). A document produced by an emitter that predates these
+tracepoints (its `points` table lacks the sched_change column family) gets
+a clear schema-skew message instead of silently printing nothing.
 """
 import argparse
 import json
@@ -33,6 +44,11 @@ POINT_SACK_EDIT = 6
 POINT_UNDO = 7
 SACK_EDIT_ACKED = 3
 POINT_RECOVERY_FORCED = 20
+POINT_SCHED_CHANGE = 22
+POINT_SCHED_RESTART_HOLD = 23
+POINT_TDN_RETIRE = 24
+STABILITY_POINTS = (POINT_SCHED_CHANGE, POINT_SCHED_RESTART_HOLD,
+                    POINT_TDN_RETIRE)
 
 
 def load(path):
@@ -94,6 +110,25 @@ def dump_recovery(doc, flow):
             print(f"{t}\t{rflow}\t{a0}\t{a1}\t{a2}\t{a3}")
 
 
+def dump_stability(doc, flow):
+    # Schedule-robustness events: changes applied, restart holds, and the
+    # per-connection TDN retirements they caused (flow 0 = controller).
+    names = doc.get("points", {})
+    known = {str(p) for p in STABILITY_POINTS}
+    if not known & set(names):
+        sys.exit("stability schema skew — this document's `points` table has "
+                 "none of the sched_change / sched_restart_hold / tdn_retire "
+                 "columns, so it was written by an emitter that predates the "
+                 "adversarial-schedule tracepoints. Regenerate the trace with "
+                 "a current build (any run with tracing enabled emits them "
+                 "when a schedule perturbation is configured).")
+    print("time_ps\tflow\tevent\ta0\ta1\ta2")
+    for t, point, rflow, a0, a1, a2, _ in records(doc, flow):
+        if point in STABILITY_POINTS:
+            name = names.get(str(point), str(point))
+            print(f"{t}\t{rflow}\t{name}\t{a0}\t{a1}\t{a2}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="tdtcp-trace/1 JSON document")
@@ -107,6 +142,9 @@ def main():
                       help="cumulative bytes retired over time")
     mode.add_argument("--recovery", action="store_true",
                       help="recovery-agent forced-retransmit events")
+    mode.add_argument("--stability", action="store_true",
+                      help="adversarial-schedule events: schedule changes, "
+                           "controller-restart holds, TDN retirements")
     args = ap.parse_args()
 
     doc = load(args.trace)
@@ -116,6 +154,8 @@ def main():
         dump_timeseq(doc, args.flow)
     elif args.recovery:
         dump_recovery(doc, args.flow)
+    elif args.stability:
+        dump_stability(doc, args.flow)
     else:
         dump_all(doc, args.flow)
 
